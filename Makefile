@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments quick-experiments fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/noc/ ./internal/cpusim/ .
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate every table/figure at full scale into results/ (slow: ~1h).
+experiments:
+	mkdir -p results
+	$(GO) build -o /tmp/catnapcli ./cmd/catnap
+	for e in fig2 table2 fig6 fig7 fig8 fig9 fig10 fig12 fig13 fig14 headline topology hetero profiles; do \
+		/tmp/catnapcli $$e > results/$$e.txt || exit 1; \
+	done
+	/tmp/catnapcli -pattern uniform-random fig11 > results/fig11-ur.txt
+	/tmp/catnapcli -pattern transpose fig11 > results/fig11-transpose.txt
+	/tmp/catnapcli -pattern bit-complement fig11 > results/fig11-bitcomp.txt
+
+quick-experiments:
+	$(GO) run ./cmd/catnap -quick headline
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,140 @@
+package catnap
+
+import (
+	"fmt"
+
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// This file implements the ablation studies DESIGN.md calls out: each
+// varies one design choice of the Catnap architecture around the paper's
+// operating point and measures the low-load power-gating benefit (CSC,
+// power) against the latency cost, on uniform random traffic at a light
+// and a moderate load. cmd/catnap exposes them via `ablation`;
+// ablation_test.go benchmarks them.
+
+// AblationPoint is one (variant, load) measurement.
+type AblationPoint struct {
+	Study   string
+	Variant string
+	Offered float64
+	Results Results
+}
+
+// AblationStudy names a parameter study and enumerates its variants.
+type AblationStudy struct {
+	Name     string
+	Doc      string
+	Variants []AblationVariant
+}
+
+// AblationVariant labels one configuration mutation.
+type AblationVariant struct {
+	Label  string
+	Mutate func(*Config)
+}
+
+// AblationStudies are the design-choice sweeps around the 4NT-128b-PG
+// operating point.
+var AblationStudies = []AblationStudy{
+	{
+		Name: "rcs",
+		Doc:  "regional vs local-only congestion detection (the 1-bit OR network's value)",
+		Variants: []AblationVariant{
+			{"regional", func(c *Config) {}},
+			{"local-only", func(c *Config) { c.LocalOnly = true }},
+		},
+	},
+	{
+		Name: "threshold",
+		Doc:  "BFM congestion threshold (flits): spill-early vs pack-tight",
+		Variants: []AblationVariant{
+			{"thr=3", func(c *Config) { c.MetricThreshold = 3 }},
+			{"thr=6", func(c *Config) { c.MetricThreshold = 6 }},
+			{"thr=9", func(c *Config) { c.MetricThreshold = 9 }},
+			{"thr=12", func(c *Config) { c.MetricThreshold = 12 }},
+		},
+	},
+	{
+		Name: "idle-detect",
+		Doc:  "buffer-empty cycles before a router may sleep (T-idle-detect)",
+		Variants: []AblationVariant{
+			{"T=2", func(c *Config) { c.TIdleDetect = 2 }},
+			{"T=4", func(c *Config) { c.TIdleDetect = 4 }},
+			{"T=8", func(c *Config) { c.TIdleDetect = 8 }},
+			{"T=16", func(c *Config) { c.TIdleDetect = 16 }},
+		},
+	},
+	{
+		Name: "wakeup",
+		Doc:  "router wake-up delay sensitivity (T-wakeup, 3 cycles hidden)",
+		Variants: []AblationVariant{
+			{"T=5", func(c *Config) { c.TWakeup = 5 }},
+			{"T=10", func(c *Config) { c.TWakeup = 10 }},
+			{"T=20", func(c *Config) { c.TWakeup = 20 }},
+		},
+	},
+	{
+		Name: "region",
+		Doc:  "congestion-detection region size (routers per OR network)",
+		Variants: []AblationVariant{
+			{"2x2", func(c *Config) { c.RegionDim = 2 }},
+			{"4x4", func(c *Config) { c.RegionDim = 4 }},
+			{"8x8", func(c *Config) { c.RegionDim = 8 }},
+		},
+	},
+	{
+		Name: "subnets",
+		Doc:  "subnet count at constant aggregate width (power-gating granularity)",
+		Variants: []AblationVariant{
+			{"2NT-256b", func(c *Config) { c.Subnets = 2; c.LinkWidthBits = 256; c.VoltageV = 0 }},
+			{"4NT-128b", func(c *Config) { c.Subnets = 4; c.LinkWidthBits = 128; c.VoltageV = 0 }},
+			{"8NT-64b", func(c *Config) { c.Subnets = 8; c.LinkWidthBits = 64; c.VoltageV = 0 }},
+		},
+	},
+}
+
+// AblationLoads are the two operating points each variant is measured at:
+// light (deep-sleep regime) and moderate (transition-heavy regime).
+var AblationLoads = []float64{0.03, 0.15}
+
+// RunAblation executes the named study and returns one point per
+// (variant, load).
+func RunAblation(name string, sc Scale) ([]AblationPoint, error) {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	var study *AblationStudy
+	for i := range AblationStudies {
+		if AblationStudies[i].Name == name {
+			study = &AblationStudies[i]
+			break
+		}
+	}
+	if study == nil {
+		return nil, fmt.Errorf("catnap: unknown ablation %q (have %v)", name, AblationNames())
+	}
+	var out []AblationPoint
+	for _, v := range study.Variants {
+		for _, load := range AblationLoads {
+			cfg := mustDesign("4NT-128b-PG")
+			v.Mutate(&cfg)
+			cfg.ApplyDefaults()
+			cfg.Name = "4NT-128b-PG[" + study.Name + "=" + v.Label + "]"
+			sim, err := New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+			out = append(out, AblationPoint{Study: study.Name, Variant: v.Label, Offered: load, Results: res})
+		}
+	}
+	return out, nil
+}
+
+// AblationNames lists the available studies.
+func AblationNames() []string {
+	out := make([]string, len(AblationStudies))
+	for i, s := range AblationStudies {
+		out[i] = s.Name
+	}
+	return out
+}

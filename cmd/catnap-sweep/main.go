@@ -1,0 +1,115 @@
+// Command catnap-sweep runs an offered-load sweep of any registered
+// design over any synthetic traffic pattern and prints one row per load:
+// throughput, latency, power, CSC, and per-subnet flit shares. It is the
+// free-form exploration companion to cmd/catnap's canned experiments.
+//
+// Example:
+//
+//	catnap-sweep -design 4NT-128b-PG -pattern transpose -loads 0.02,0.05,0.1,0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+var (
+	design    = flag.String("design", "4NT-128b-PG", "network design (see 'catnap designs')")
+	pattern   = flag.String("pattern", "uniform-random", "traffic pattern: uniform-random|transpose|bit-complement")
+	loadsStr  = flag.String("loads", "0.02,0.05,0.10,0.20,0.30,0.40,0.50", "comma-separated offered loads (packets/node/cycle)")
+	warmup    = flag.Int64("warmup", 3000, "warmup cycles per point")
+	measure   = flag.Int64("measure", 12000, "measurement cycles per point")
+	seed      = flag.Uint64("seed", 1, "experiment seed")
+	metricTh  = flag.Float64("threshold", 0, "override the congestion metric threshold (0 = default)")
+	traceFile = flag.String("trace", "", "write a JSONL per-packet trace to this file (single-load runs)")
+)
+
+func main() {
+	flag.Parse()
+	pat, err := traffic.PatternByName(*pattern)
+	if err != nil {
+		fail(err)
+	}
+	loads, err := parseLoads(*loadsStr)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("# design=%s pattern=%s warmup=%d measure=%d seed=%d\n",
+		*design, *pattern, *warmup, *measure, *seed)
+	fmt.Printf("%8s %9s %9s %9s %9s %7s %7s  %s\n",
+		"offered", "accepted", "lat", "p99", "power(W)", "CSC%", "active", "subnet shares")
+
+	for _, load := range loads {
+		cfg, err := catnap.Design(*design)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Seed = *seed
+		if *metricTh > 0 {
+			cfg.MetricThreshold = *metricTh
+		}
+		sim, err := catnap.New(cfg)
+		if err != nil {
+			fail(err)
+		}
+		var flushTrace func()
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fail(err)
+			}
+			tw := sim.EnableTrace(f)
+			flushTrace = func() {
+				if err := tw.Close(); err != nil {
+					fail(err)
+				}
+			}
+		}
+		res := sim.RunSynthetic(pat, traffic.Constant(load), *warmup, *measure)
+		if flushTrace != nil {
+			flushTrace()
+			if len(loads) > 1 {
+				fmt.Fprintln(os.Stderr, "catnap-sweep: -trace holds only the last load's packets; use a single -loads value")
+			}
+		}
+		shares := make([]string, len(res.SubnetShare))
+		for i, s := range res.SubnetShare {
+			shares[i] = fmt.Sprintf("%.2f", s)
+		}
+		fmt.Printf("%8.3f %9.4f %9.1f %9.0f %9.1f %7.1f %7.2f  %s\n",
+			load, res.AcceptedThroughput, res.AvgLatency, res.P99Latency,
+			res.Power.Total, res.CSCPercent, res.ActiveRouterFraction,
+			strings.Join(shares, ","))
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("bad load %q (want a fraction in (0,1])", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no loads given")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "catnap-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command catnap-trace analyzes a JSONL packet trace produced by
+// catnap-sweep -trace (or Simulator.EnableTrace): it prints the aggregate
+// summary, a latency histogram, per-subnet and per-class breakdowns, and
+// optionally a windowed throughput series.
+//
+// Usage:
+//
+//	catnap-trace [-series 50] trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/catnap-noc/catnap/internal/trace"
+)
+
+var seriesWindow = flag.Int64("series", 0, "also print a throughput series with this window (cycles); 0 disables")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: catnap-trace [-series N] trace.jsonl")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "catnap-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sum, err := trace.Summarize(f)
+	if err != nil {
+		return err
+	}
+	if sum.Packets == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	span := sum.LastArrive - sum.FirstCreate
+	fmt.Printf("packets: %d over %d cycles (%.4f packets/cycle)\n",
+		sum.Packets, span, float64(sum.Packets)/float64(span))
+	fmt.Printf("latency: mean %.1f, max %d cycles\n", sum.MeanLatency, sum.MaxLatency)
+
+	fmt.Println("\nper subnet:")
+	subnets := make([]int, 0, len(sum.PerSubnet))
+	for s := range sum.PerSubnet {
+		subnets = append(subnets, s)
+	}
+	sort.Ints(subnets)
+	for _, s := range subnets {
+		c := sum.PerSubnet[s]
+		fmt.Printf("  subnet %d: %8d (%5.1f%%) %s\n", s, c,
+			100*float64(c)/float64(sum.Packets), bar(float64(c)/float64(sum.Packets)))
+	}
+
+	fmt.Println("\nper message class:")
+	for class, c := range sum.PerClass {
+		fmt.Printf("  %-5v %8d (%5.1f%%)\n", class, c, 100*float64(c)/float64(sum.Packets))
+	}
+
+	// Second pass for the histogram (and optional series).
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	return histogram(f, *seriesWindow)
+}
+
+// histogram prints a log-ish latency histogram and an optional windowed
+// delivery series.
+func histogram(f *os.File, window int64) error {
+	bounds := []int64{10, 20, 40, 80, 160, 320, 640, 1280, 1 << 62}
+	counts := make([]int64, len(bounds))
+	var total int64
+	series := map[int64]int64{}
+	err := trace.Read(f, func(r trace.Record) error {
+		lat := r.Latency()
+		for i, b := range bounds {
+			if lat <= b {
+				counts[i]++
+				break
+			}
+		}
+		total++
+		if window > 0 {
+			series[r.Arrive/window]++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nlatency histogram (cycles):")
+	prev := int64(0)
+	for i, b := range bounds {
+		label := fmt.Sprintf("%d-%d", prev+1, b)
+		if i == len(bounds)-1 {
+			label = fmt.Sprintf(">%d", prev)
+		}
+		frac := float64(counts[i]) / float64(total)
+		fmt.Printf("  %-10s %8d (%5.1f%%) %s\n", label, counts[i], 100*frac, bar(frac))
+		prev = b
+	}
+	if window > 0 {
+		fmt.Printf("\ndeliveries per %d-cycle window:\n", window)
+		keys := make([]int64, 0, len(series))
+		for k := range series {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			fmt.Printf("  %8d %6d %s\n", k*window, series[k], bar(float64(series[k])/float64(maxVal(series))))
+		}
+	}
+	return nil
+}
+
+func bar(frac float64) string {
+	n := int(frac*40 + 0.5)
+	return strings.Repeat("#", n)
+}
+
+func maxVal(m map[int64]int64) int64 {
+	var mx int64 = 1
+	for _, v := range m {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

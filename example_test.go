@@ -1,0 +1,48 @@
+package catnap_test
+
+import (
+	"fmt"
+
+	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// ExampleDesign shows how paper configurations are resolved by name.
+func ExampleDesign() {
+	cfg, _ := catnap.Design("4NT-128b-PG")
+	fmt.Printf("%s: %d subnets x %d bits at %.3f V\n", cfg.Name, cfg.Subnets, cfg.LinkWidthBits, cfg.VoltageV)
+	cfg, _ = catnap.Design("1NT-512b")
+	fmt.Printf("%s: %d subnet x %d bits at %.3f V\n", cfg.Name, cfg.Subnets, cfg.LinkWidthBits, cfg.VoltageV)
+	// Output:
+	// 4NT-128b-PG: 4 subnets x 128 bits at 0.625 V
+	// 1NT-512b: 1 subnet x 512 bits at 0.750 V
+}
+
+// ExampleRunTable2 reproduces the paper's Table 2 from the crossbar
+// critical-path model.
+func ExampleRunTable2() {
+	for _, r := range catnap.RunTable2() {
+		fmt.Printf("%-10s %3db %.1fGHz %.3fV\n", r.Design, r.WidthBits, r.FreqGHz, r.VoltV)
+	}
+	// Output:
+	// Single-NoC 512b 2.0GHz 0.750V
+	// Single-NoC 512b 1.4GHz 0.625V
+	// Multi-NoC  128b 2.9GHz 0.750V
+	// Multi-NoC  128b 2.0GHz 0.625V
+}
+
+// ExampleSimulator_RunSynthetic runs the Catnap design at a light load
+// and reports the energy-proportionality signature: nearly all traffic in
+// subnet 0, most router-cycles compensated sleep.
+func ExampleSimulator_RunSynthetic() {
+	cfg, _ := catnap.Design("4NT-128b-PG")
+	sim, _ := catnap.New(cfg)
+	res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(0.03), 2000, 8000)
+	fmt.Printf("subnet 0 share > 95%%: %v\n", res.SubnetShare[0] > 0.95)
+	fmt.Printf("CSC > 60%%: %v\n", res.CSCPercent > 60)
+	fmt.Printf("all offered traffic accepted: %v\n", res.AcceptedThroughput > 0.029)
+	// Output:
+	// subnet 0 share > 95%: true
+	// CSC > 60%: true
+	// all offered traffic accepted: true
+}

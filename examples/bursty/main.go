@@ -1,0 +1,66 @@
+// Bursty: watch Catnap adapt network bandwidth to bursty traffic — the
+// Figure 12 scenario. The offered load jumps from 0.01 to 0.30
+// packets/node/cycle for 500 cycles (burst 1), returns to base, then
+// jumps to 0.10 (burst 2). Catnap must open higher-order subnets within a
+// couple hundred cycles for burst 1, open only part of the network for
+// the smaller burst 2, and put everything back to sleep in between.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+func main() {
+	// First, two router power-state snapshots from a live run: mid-burst
+	// (every subnet lit) and after the decay (only subnet 0 awake).
+	sim, err := catnap.New(mustDesign("4NT-128b-PG"))
+	if err != nil {
+		panic(err)
+	}
+	sim.UseSynthetic(traffic.UniformRandom{}, traffic.Fig12Bursts(), 0)
+	sim.Run(1400) // mid first burst
+	fmt.Println("router power states mid-burst (cycle 1400; # active, ~ waking, . asleep):")
+	fmt.Println(sim.Net.PowerStateGrids())
+	sim.Run(600) // cycle 2000: decayed
+	fmt.Println("after the burst decays (cycle 2000):")
+	fmt.Println(sim.Net.PowerStateGrids())
+
+	points := catnap.RunFig12(3000, 50)
+
+	fmt.Println("cycle   offered  accepted  subnet shares (0..3)        active subnets")
+	for _, p := range points {
+		if p.Cycle%100 != 0 {
+			continue // print every other window for readability
+		}
+		bar := ""
+		active := 0
+		for _, s := range p.SubnetShare {
+			n := int(s*10 + 0.5)
+			bar += strings.Repeat("#", n) + strings.Repeat(".", 10-n) + " "
+			if s > 0.02 {
+				active++
+			}
+		}
+		fmt.Printf("%5d   %.3f    %.3f     %s %d\n", p.Cycle, p.Offered, p.Accepted, bar, active)
+	}
+
+	fmt.Println(`
+Reading the trace:
+  cycles    0-1000: base load 0.01  -> subnet 0 carries everything
+  cycles 1000-1500: burst to 0.30   -> congestion spills load across all subnets
+  cycles 1500-2000: back to base    -> higher subnets drain and sleep again
+  cycles 2000-2500: burst to 0.10   -> only as many subnets open as the load needs
+  cycles 2500-3000: base            -> back to subnet 0 alone`)
+}
+
+func mustDesign(name string) catnap.Config {
+	cfg, err := catnap.Design(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}

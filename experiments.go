@@ -1,0 +1,701 @@
+package catnap
+
+import (
+	"fmt"
+
+	"github.com/catnap-noc/catnap/internal/congestion"
+	"github.com/catnap-noc/catnap/internal/cpusim"
+	"github.com/catnap-noc/catnap/internal/power"
+	"github.com/catnap-noc/catnap/internal/traffic"
+	"github.com/catnap-noc/catnap/internal/workload"
+)
+
+// This file contains one runner per table/figure of the paper's
+// evaluation. Each returns plain data structures that cmd/catnap renders
+// as the paper's rows/series and bench_test.go exercises. Cycle counts are
+// parameters so benchmarks can trade precision for time; zero selects the
+// defaults used in EXPERIMENTS.md.
+
+// Scale selects simulation lengths for the canned experiments.
+type Scale struct {
+	// Warmup cycles before measurement.
+	Warmup int64
+	// Measure is the measurement window length.
+	Measure int64
+}
+
+func (s Scale) or(warmup, measure int64) Scale {
+	if s.Warmup == 0 {
+		s.Warmup = warmup
+	}
+	if s.Measure == 0 {
+		s.Measure = measure
+	}
+	return s
+}
+
+// DefaultSyntheticScale is used by the synthetic-traffic figures.
+var DefaultSyntheticScale = Scale{Warmup: 3000, Measure: 12000}
+
+// DefaultAppScale is used by the application-workload figures.
+var DefaultAppScale = Scale{Warmup: 5000, Measure: 15000}
+
+// DefaultLoads is the offered-load sweep of Figures 6/10/11 in
+// packets/node/cycle.
+var DefaultLoads = []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+
+// mustDesign resolves a registered design or panics; the experiment
+// runners only reference designs registered in this package.
+func mustDesign(name string) Config {
+	c, err := Design(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustSim builds a simulator or panics (config errors here are programmer
+// errors in the runners, not user input).
+func mustSim(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — per-core bandwidth matters: 128b vs 512b Single-NoC on Light
+// and Heavy workloads.
+
+// Fig2Row is one bar of Figure 2.
+type Fig2Row struct {
+	Workload   string
+	Design     string
+	SystemIPC  float64
+	Normalized float64 // to the 512-bit design for the same workload
+}
+
+// RunFig2 reproduces Figure 2.
+func RunFig2(sc Scale) ([]Fig2Row, error) {
+	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	var rows []Fig2Row
+	for _, mix := range []string{"Light", "Heavy"} {
+		var base float64
+		for _, design := range []string{"1NT-512b", "1NT-128b"} {
+			cfg := mustDesign(design)
+			cfg.AppTraffic = true
+			sim := mustSim(cfg)
+			if _, err := sim.UseMix(mix); err != nil {
+				return nil, err
+			}
+			sim.Run(sc.Warmup)
+			sim.StartMeasure()
+			sim.Run(sc.Measure)
+			res := sim.StopMeasure()
+			if design == "1NT-512b" {
+				base = res.SystemIPC
+			}
+			norm := 0.0
+			if base > 0 {
+				norm = res.SystemIPC / base
+			}
+			rows = append(rows, Fig2Row{Workload: mix, Design: design, SystemIPC: res.SystemIPC, Normalized: norm})
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — router frequency/voltage pairs.
+
+// RunTable2 reproduces Table 2 from the crossbar critical-path model.
+func RunTable2() []power.Table2Row {
+	p := power.DefaultParams()
+	return p.Table2()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — throughput/latency of bandwidth-equivalent designs.
+
+// Fig6Point is one (design, load) sample of Figure 6.
+type Fig6Point struct {
+	Design   string
+	Offered  float64
+	Accepted float64
+	Latency  float64
+}
+
+// Fig6Designs are the bandwidth-equivalent configurations compared.
+var Fig6Designs = []string{"1NT-512b", "2NT-256b", "4NT-128b", "8NT-64b"}
+
+// RunFig6 sweeps uniform-random load over the Figure 6 designs (no power
+// gating, round-robin selection — the §5 characterization).
+func RunFig6(sc Scale, loads []float64) []Fig6Point {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	var out []Fig6Point
+	for _, d := range Fig6Designs {
+		for _, load := range loads {
+			sim := mustSim(mustDesign(d))
+			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+			out = append(out, Fig6Point{Design: d, Offered: load, Accepted: res.AcceptedThroughput, Latency: res.AvgLatency})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — analytic power breakdown at near saturation.
+
+// Fig7Row is one stacked bar of Figure 7.
+type Fig7Row struct {
+	Label     string
+	VoltV     float64
+	Breakdown power.Breakdown
+}
+
+// RunFig7 computes the three Figure 7 bars at per-port load factor 0.5 and
+// bit switching factor 0.15.
+func RunFig7() []Fig7Row {
+	mk := func(label, design string, volt float64) Fig7Row {
+		cfg := mustDesign(design)
+		cfg.VoltageV = volt
+		cfg.ApplyDefaults()
+		sim := mustSim(cfg)
+		return Fig7Row{Label: label, VoltV: volt, Breakdown: sim.Model.AnalyticLoadPoint(0.5, 0.15)}
+	}
+	return []Fig7Row{
+		mk("1NT-512b 0.750V", "1NT-512b", 0.750),
+		mk("4NT-128b 0.750V", "4NT-128b", 0.750),
+		mk("4NT-128b 0.625V", "4NT-128b", 0.625),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8 and 9 — application workloads: power, performance, CSC.
+
+// AppRow is one (workload, design) cell of Figures 8/9.
+type AppRow struct {
+	Workload string
+	Design   string
+	Results  Results
+	// NormalizedPerf is SystemIPC normalized to 1NT-512b on the same
+	// workload (Figure 8 right).
+	NormalizedPerf float64
+}
+
+// Fig8Designs are the six configurations of Figure 8, in the paper's
+// order.
+var Fig8Designs = []string{"1NT-128b", "1NT-512b", "4NT-128b", "1NT-128b-PG", "1NT-512b-PG", "4NT-128b-PG"}
+
+// AppWorkloadNames are the Table 3 mixes in demand order.
+var AppWorkloadNames = []string{"Light", "Medium-Light", "Medium-Heavy", "Heavy"}
+
+// RunAppWorkloads runs every (mix, design) pair of Figures 8/9 and
+// returns the full matrix. RunFig8/RunFig9/RunHeadline all derive from it.
+func RunAppWorkloads(sc Scale, mixes, designs []string) ([]AppRow, error) {
+	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	if mixes == nil {
+		mixes = AppWorkloadNames
+	}
+	if designs == nil {
+		designs = Fig8Designs
+	}
+	var rows []AppRow
+	for _, mix := range mixes {
+		base := 0.0
+		baseSeen := false
+		var mixRows []AppRow
+		for _, design := range designs {
+			cfg := mustDesign(design)
+			cfg.AppTraffic = true
+			sim := mustSim(cfg)
+			if _, err := sim.UseMix(mix); err != nil {
+				return nil, err
+			}
+			sim.Run(sc.Warmup)
+			sim.StartMeasure()
+			sim.Run(sc.Measure)
+			res := sim.StopMeasure()
+			mixRows = append(mixRows, AppRow{Workload: mix, Design: design, Results: res})
+			if design == "1NT-512b" {
+				base = res.SystemIPC
+				baseSeen = true
+			}
+		}
+		if !baseSeen {
+			// Normalize against a dedicated baseline run when the caller's
+			// design list omits it.
+			cfg := mustDesign("1NT-512b")
+			cfg.AppTraffic = true
+			sim := mustSim(cfg)
+			if _, err := sim.UseMix(mix); err != nil {
+				return nil, err
+			}
+			sim.Run(sc.Warmup)
+			sim.StartMeasure()
+			sim.Run(sc.Measure)
+			base = sim.StopMeasure().SystemIPC
+		}
+		for i := range mixRows {
+			if base > 0 {
+				mixRows[i].NormalizedPerf = mixRows[i].Results.SystemIPC / base
+			}
+		}
+		rows = append(rows, mixRows...)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — synthetic load sweep with and without power gating.
+
+// Fig10Point is one (design, load) sample with the four panel quantities.
+type Fig10Point struct {
+	Design     string
+	Offered    float64
+	PowerW     float64
+	CSCPercent float64
+	Accepted   float64
+	Latency    float64
+}
+
+// Fig10Designs are Figure 10's four configurations.
+var Fig10Designs = []string{"1NT-512b", "4NT-128b", "1NT-512b-PG", "4NT-128b-PG"}
+
+// RunFig10 sweeps uniform-random load over the four designs.
+func RunFig10(sc Scale, loads []float64) []Fig10Point {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	var out []Fig10Point
+	for _, d := range Fig10Designs {
+		for _, load := range loads {
+			sim := mustSim(mustDesign(d))
+			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+			out = append(out, Fig10Point{
+				Design: d, Offered: load,
+				PowerW: res.Power.Total, CSCPercent: res.CSCPercent,
+				Accepted: res.AcceptedThroughput, Latency: res.AvgLatency,
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — congestion-metric comparison.
+
+// Fig11Policy names one curve of Figure 11 and builds its configuration.
+type Fig11Policy struct {
+	Name string
+	Cfg  func() Config
+}
+
+// Fig11Policies are the six curves: the RR baseline and the five
+// Catnap-policy variants (§3.4 metrics plus the local-only ablations).
+var Fig11Policies = []Fig11Policy{
+	{"RR", func() Config { return mustDesign("4NT-128b-PG-RR") }},
+	{"BFA", func() Config { return metricDesign(congestion.BFA, false) }},
+	{"Delay", func() Config { return metricDesign(congestion.Delay, false) }},
+	{"BFM", func() Config { return metricDesign(congestion.BFM, false) }},
+	{"BFM-local", func() Config { return metricDesign(congestion.BFM, true) }},
+	{"IQOcc-local", func() Config { return metricDesign(congestion.IQOcc, true) }},
+}
+
+// metricDesign returns the 4NT-128b Catnap design with the given local
+// congestion metric (and optionally regional detection disabled).
+func metricDesign(metric congestion.MetricKind, localOnly bool) Config {
+	cfg := mustDesign("4NT-128b-PG")
+	cfg.Metric = metric
+	cfg.LocalOnly = localOnly
+	suffix := metric.String()
+	if localOnly {
+		suffix += "-local"
+	}
+	cfg.Name = "4NT-128b-PG-" + suffix
+	return cfg
+}
+
+// Fig11Point is one (policy, load) sample.
+type Fig11Point struct {
+	Policy     string
+	Offered    float64
+	Accepted   float64
+	Latency    float64
+	CSCPercent float64
+}
+
+// RunFig11 sweeps one traffic pattern over the six policies. patternName
+// is "uniform-random", "transpose" or "bit-complement" (panels a–c); the
+// CSC column doubles as panel (d) for the RR and BFM rows.
+func RunFig11(sc Scale, patternName string, loads []float64) ([]Fig11Point, error) {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	pattern, err := traffic.PatternByName(patternName)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11Point
+	for _, pol := range Fig11Policies {
+		for _, load := range loads {
+			sim := mustSim(pol.Cfg())
+			res := sim.RunSynthetic(pattern, traffic.Constant(load), sc.Warmup, sc.Measure)
+			out = append(out, Fig11Point{
+				Policy: pol.Name, Offered: load,
+				Accepted: res.AcceptedThroughput, Latency: res.AvgLatency, CSCPercent: res.CSCPercent,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — ramp-up and decay under bursty traffic.
+
+// Fig12Point is one 50-cycle sample of Figure 12's two panels.
+type Fig12Point struct {
+	Cycle       int64
+	Offered     float64   // packets/node/cycle generated in the window
+	Accepted    float64   // packets/node/cycle delivered in the window
+	SubnetShare []float64 // fraction of injected flits per subnet
+}
+
+// RunFig12 runs the two-burst schedule on the Catnap design and samples
+// throughput and subnet utilization every `window` cycles (50 in the
+// paper). total is the simulated length (3000 cycles in the paper).
+func RunFig12(total, window int64) []Fig12Point {
+	if total == 0 {
+		total = 3000
+	}
+	if window == 0 {
+		window = 50
+	}
+	sim := mustSim(mustDesign("4NT-128b-PG"))
+	gen := sim.UseSynthetic(traffic.UniformRandom{}, traffic.Fig12Bursts(), 0)
+
+	nodes := float64(sim.Net.Topo().Nodes())
+	subnets := sim.Net.Subnets()
+	prevOffered := int64(0)
+	prevEjected := int64(0)
+	prevFlits := make([]int64, subnets)
+	var out []Fig12Point
+
+	for sim.Net.Now() < total {
+		sim.Step()
+		now := sim.Net.Now()
+		if now%window != 0 {
+			continue
+		}
+		_, _, ejected := sim.Net.Counts()
+		cur := make([]int64, subnets)
+		for n := 0; n < int(nodes); n++ {
+			for s, c := range sim.Net.NI(n).FlitsPerSubnet {
+				cur[s] += c
+			}
+		}
+		var totalFlits int64
+		share := make([]float64, subnets)
+		for s := range cur {
+			totalFlits += cur[s] - prevFlits[s]
+		}
+		for s := range cur {
+			if totalFlits > 0 {
+				share[s] = float64(cur[s]-prevFlits[s]) / float64(totalFlits)
+			}
+		}
+		out = append(out, Fig12Point{
+			Cycle:       now,
+			Offered:     float64(gen.Offered-prevOffered) / float64(window) / nodes,
+			Accepted:    float64(ejected-prevEjected) / float64(window) / nodes,
+			SubnetShare: share,
+		})
+		prevOffered = gen.Offered
+		prevEjected = ejected
+		copy(prevFlits, cur)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — the injection-rate metric's threshold problem.
+
+// Fig13Point is one (threshold, load) sample for a pattern.
+type Fig13Point struct {
+	Pattern   string
+	Threshold float64
+	Offered   float64
+	Latency   float64
+	Accepted  float64
+}
+
+// Fig13Thresholds are the swept IR thresholds (packets/node/cycle).
+var Fig13Thresholds = []float64{0.04, 0.08, 0.12, 0.16, 0.20, 0.24}
+
+// RunFig13 sweeps IR-threshold subnet selection (no power gating, as in
+// the paper) over uniform-random and transpose traffic.
+func RunFig13(sc Scale, loads []float64) ([]Fig13Point, error) {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	var out []Fig13Point
+	for _, patName := range []string{"uniform-random", "transpose"} {
+		pattern, err := traffic.PatternByName(patName)
+		if err != nil {
+			return nil, err
+		}
+		for _, thr := range Fig13Thresholds {
+			for _, load := range loads {
+				cfg := mustDesign("4NT-128b")
+				cfg.Selector = SelectorCatnap
+				cfg.Gating = GatingOff
+				cfg.Metric = congestion.IR
+				cfg.MetricThreshold = thr
+				cfg.Name = fmt.Sprintf("4NT-128b-IR-%.2f", thr)
+				sim := mustSim(cfg)
+				res := sim.RunSynthetic(pattern, traffic.Constant(load), sc.Warmup, sc.Measure)
+				out = append(out, Fig13Point{Pattern: patName, Threshold: thr, Offered: load, Latency: res.AvgLatency, Accepted: res.AcceptedThroughput})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — the 64-core processor study.
+
+// Fig14Point is one (design, load) sample of CSC and latency.
+type Fig14Point struct {
+	Design     string
+	Offered    float64
+	CSCPercent float64
+	Latency    float64
+	Accepted   float64
+}
+
+// RunFig14 sweeps uniform random over the 64-core designs.
+func RunFig14(sc Scale, loads []float64) []Fig14Point {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	var out []Fig14Point
+	for _, d := range []string{"64c-1NT-256b-PG", "64c-2NT-128b-PG"} {
+		for _, load := range loads {
+			sim := mustSim(mustDesign(d))
+			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+			out = append(out, Fig14Point{Design: d, Offered: load, CSCPercent: res.CSCPercent, Latency: res.AvgLatency, Accepted: res.AcceptedThroughput})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Per-benchmark characterization — runs every one of the 35 application
+// profiles homogeneously (all cores the same benchmark) on a 64-core
+// system and reports its realized network demand. This is the data behind
+// Table 3's mix construction: the MPKI ordering must survive the closed
+// loop.
+
+// ProfileRow characterizes one benchmark.
+type ProfileRow struct {
+	Benchmark string
+	Suite     string
+	MPKI      float64 // profile input (Table 3 basis)
+	IPC       float64 // realized per-core IPC
+	// PacketsPerNodeCycle is the realized network demand.
+	PacketsPerNodeCycle float64
+	AvgLatency          float64
+}
+
+// RunProfiles characterizes every benchmark in the library on a 64-core
+// 1NT-256b system (characterization needs per-core behaviour, not chip
+// scale).
+func RunProfiles(sc Scale) ([]ProfileRow, error) {
+	sc = sc.or(3000, 10000)
+	var rows []ProfileRow
+	for i := range workload.Profiles {
+		prof := &workload.Profiles[i]
+		cfg := BaseConfig()
+		cfg.Name = "64c-1NT-256b"
+		cfg.Rows, cfg.Cols, cfg.RegionDim = 4, 4, 2
+		cfg.Subnets, cfg.LinkWidthBits = 1, 256
+		cfg.AppTraffic = true
+		cfg.ApplyDefaults()
+		sim, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		assign := make([]*workload.Profile, sim.Net.Topo().Tiles())
+		for t := range assign {
+			assign[t] = prof
+		}
+		scfg := cpusim.DefaultConfig()
+		scfg.Seed = cfg.Seed
+		sys, err := cpusim.NewWithAssignment(sim.Net, scfg, assign)
+		if err != nil {
+			return nil, err
+		}
+		sim.sys = sys
+		sim.Run(sc.Warmup)
+		sim.StartMeasure()
+		sim.Run(sc.Measure)
+		res := sim.StopMeasure()
+		nodes := float64(sim.Net.Topo().Nodes())
+		cores := float64(len(assign))
+		rows = append(rows, ProfileRow{
+			Benchmark:           prof.Name,
+			Suite:               prof.Suite,
+			MPKI:                prof.MPKI(),
+			IPC:                 res.SystemIPC / cores,
+			PacketsPerNodeCycle: float64(res.PacketsDelivered) / float64(res.Cycles) / nodes,
+			AvgLatency:          res.AvgLatency,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Topology comparison — beyond the paper's figures (its §8 future work):
+// does the Catnap story survive on a topology with wraparound links?
+
+// TopologyPoint is one (design, load) sample of the mesh-vs-torus
+// comparison.
+type TopologyPoint struct {
+	Design     string
+	Offered    float64
+	Accepted   float64
+	Latency    float64
+	PowerW     float64
+	CSCPercent float64
+}
+
+// RunTopology sweeps uniform random over the mesh, torus, and flattened
+// butterfly Catnap designs.
+func RunTopology(sc Scale, loads []float64) []TopologyPoint {
+	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	var out []TopologyPoint
+	for _, d := range []string{"4NT-128b-PG", "4NT-128b-PG-torus", "4NT-128b-PG-fbfly"} {
+		for _, load := range loads {
+			sim := mustSim(mustDesign(d))
+			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+			out = append(out, TopologyPoint{
+				Design: d, Offered: load,
+				Accepted: res.AcceptedThroughput, Latency: res.AvgLatency,
+				PowerW: res.Power.Total, CSCPercent: res.CSCPercent,
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous placement — beyond the paper's figures, but directly its
+// §3.2.1 motivation: when a Heavy mix runs on the west half of the chip
+// and a Light mix on the east half, traffic is spatially non-uniform and
+// local congestion detection at an injecting node lags the congestion its
+// packets will meet. Regional detection (the 1-bit OR network) closes
+// that gap.
+
+// HeteroRow is one detection variant's outcome on the split-chip
+// scenario.
+type HeteroRow struct {
+	Variant string
+	Results Results
+}
+
+// RunHetero compares regional vs local-only BFM detection on the
+// Heavy-west / Light-east split chip.
+func RunHetero(sc Scale) ([]HeteroRow, error) {
+	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	var rows []HeteroRow
+	for _, localOnly := range []bool{false, true} {
+		cfg := mustDesign("4NT-128b-PG")
+		cfg.AppTraffic = true
+		cfg.LocalOnly = localOnly
+		label := "regional"
+		if localOnly {
+			label = "local-only"
+		}
+		cfg.Name = "4NT-128b-PG-" + label
+		sim := mustSim(cfg)
+		if _, err := sim.UseSplitMix("Heavy", "Light"); err != nil {
+			return nil, err
+		}
+		sim.Run(sc.Warmup)
+		sim.StartMeasure()
+		sim.Run(sc.Measure)
+		rows = append(rows, HeteroRow{Variant: label, Results: sim.StopMeasure()})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Headline — §1/§6.2: average power and performance across workloads.
+
+// Headline summarises the paper's headline comparison.
+type Headline struct {
+	// SingleAvgPowerW and MultiPGAvgPowerW average network power across
+	// the four Table 3 workloads (paper: ≈36 W vs ≈20 W).
+	SingleAvgPowerW  float64
+	MultiPGAvgPowerW float64
+	// PowerReduction is 1 − multi/single (paper: ≈44%).
+	PowerReduction float64
+	// AvgPerfCost is the mean performance loss of 4NT-128b-PG vs 1NT-512b
+	// (paper: ≈5%).
+	AvgPerfCost float64
+	// LightCSCPercent is the compensated sleep cycles on the Light mix
+	// (paper: ≈70%).
+	LightCSCPercent float64
+}
+
+// RunHeadline computes the headline numbers from the Figure 8/9 matrix.
+func RunHeadline(sc Scale) (Headline, error) {
+	rows, err := RunAppWorkloads(sc, nil, []string{"1NT-512b", "4NT-128b-PG"})
+	if err != nil {
+		return Headline{}, err
+	}
+	var h Headline
+	var nSingle, nMulti, nPerf int
+	for _, r := range rows {
+		switch r.Design {
+		case "1NT-512b":
+			h.SingleAvgPowerW += r.Results.Power.Total
+			nSingle++
+		case "4NT-128b-PG":
+			h.MultiPGAvgPowerW += r.Results.Power.Total
+			h.AvgPerfCost += 1 - r.NormalizedPerf
+			nMulti++
+			nPerf++
+			if r.Workload == "Light" {
+				h.LightCSCPercent = r.Results.CSCPercent
+			}
+		}
+	}
+	if nSingle > 0 {
+		h.SingleAvgPowerW /= float64(nSingle)
+	}
+	if nMulti > 0 {
+		h.MultiPGAvgPowerW /= float64(nMulti)
+	}
+	if nPerf > 0 {
+		h.AvgPerfCost /= float64(nPerf)
+	}
+	if h.SingleAvgPowerW > 0 {
+		h.PowerReduction = 1 - h.MultiPGAvgPowerW/h.SingleAvgPowerW
+	}
+	return h, nil
+}
+
+// Ensure workload is linked for the mix names documented above.
+var _ = workload.Mixes

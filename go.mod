@@ -1,0 +1,3 @@
+module github.com/catnap-noc/catnap
+
+go 1.22

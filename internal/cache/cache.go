@@ -1,0 +1,213 @@
+// Package cache implements a set-associative cache tag array with LRU
+// replacement. The stateful-coherence mode of the system model
+// (internal/cpusim, Config.RealCoherence) gives each core a real L1 tag
+// array so that writeback victims come from actual LRU evictions and
+// directory invalidations remove real lines — instead of the
+// probabilistic approximations the statistical mode uses.
+//
+// Only tags are modelled (block addresses + dirty bits); the simulator
+// never needs data contents.
+package cache
+
+import "fmt"
+
+// line is one resident block.
+type line struct {
+	addr  uint64
+	dirty bool
+	valid bool
+	// lru is a per-set timestamp; larger = more recently used.
+	lru uint64
+}
+
+// SetAssoc is a set-associative tag array. The zero value is not usable;
+// construct with New.
+type SetAssoc struct {
+	sets [][]line
+	ways int
+	// shift selects the top log2(sets) bits of the multiplicative hash —
+	// the well-distributed end of a Fibonacci hash.
+	shift uint
+	tick  uint64
+
+	// statistics
+	hits, misses, evictions, invalidations uint64
+}
+
+// New returns a cache with the given number of sets (a power of two) and
+// ways. Addresses are block addresses (already shifted by the block
+// size); the set index is the low bits.
+func New(sets, ways int) (*SetAssoc, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: sets must be a positive power of two, got %d", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: ways must be positive, got %d", ways)
+	}
+	shift := uint(64)
+	for n := sets; n > 1; n >>= 1 {
+		shift--
+	}
+	c := &SetAssoc{
+		sets:  make([][]line, sets),
+		ways:  ways,
+		shift: shift,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configuration; it panics on invalid geometry.
+func MustNew(sets, ways int) *SetAssoc {
+	c, err := New(sets, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the set count.
+func (c *SetAssoc) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// set returns the set for addr. Addresses are scrambled before indexing
+// so the synthetic address spaces (which are contiguous per region)
+// spread across sets.
+func (c *SetAssoc) set(addr uint64) []line {
+	z := addr * 0x9e3779b97f4a7c15
+	if c.shift == 64 {
+		return c.sets[0]
+	}
+	return c.sets[z>>c.shift]
+}
+
+// Lookup reports whether addr is resident and, if so, touches its LRU
+// state. markDirty additionally sets the dirty bit (a store hit).
+func (c *SetAssoc) Lookup(addr uint64, markDirty bool) bool {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			c.tick++
+			set[i].lru = c.tick
+			if markDirty {
+				set[i].dirty = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports residency without touching LRU or statistics.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim is an evicted block.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Insert fills addr into the cache (after a miss completes), evicting the
+// set's LRU line if the set is full. It returns the victim and whether
+// one was evicted. Inserting an already-resident block just touches it.
+func (c *SetAssoc) Insert(addr uint64, dirty bool) (Victim, bool) {
+	set := c.set(addr)
+	c.tick++
+	// Pass 1: the block may already be resident in any way (e.g. after an
+	// invalidation freed an earlier slot) — never create a duplicate.
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			set[i].lru = c.tick
+			if dirty {
+				set[i].dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	// Pass 2: free slot, else evict the LRU way.
+	lruIdx, lruVal := -1, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			set[i] = line{addr: addr, dirty: dirty, valid: true, lru: c.tick}
+			return Victim{}, false
+		}
+		if set[i].lru < lruVal {
+			lruVal = set[i].lru
+			lruIdx = i
+		}
+	}
+	v := Victim{Addr: set[lruIdx].addr, Dirty: set[lruIdx].dirty}
+	set[lruIdx] = line{addr: addr, dirty: dirty, valid: true, lru: c.tick}
+	c.evictions++
+	return v, true
+}
+
+// Invalidate removes addr if resident (a directory invalidation) and
+// reports whether it was present (and dirty).
+func (c *SetAssoc) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			dirty = set[i].dirty
+			set[i] = line{}
+			c.invalidations++
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative hit/miss/eviction/invalidation counts
+// (Lookup-based hits and misses only).
+func (c *SetAssoc) Stats() (hits, misses, evictions, invalidations uint64) {
+	return c.hits, c.misses, c.evictions, c.invalidations
+}
+
+// CheckInvariants verifies structural consistency: no duplicate blocks,
+// every valid line indexed in its home set. It is O(capacity) and used by
+// tests.
+func (c *SetAssoc) CheckInvariants() error {
+	seen := make(map[uint64]bool)
+	for si, set := range c.sets {
+		for _, l := range set {
+			if !l.valid {
+				continue
+			}
+			if seen[l.addr] {
+				return fmt.Errorf("cache: block %#x resident twice", l.addr)
+			}
+			seen[l.addr] = true
+			if &c.set(l.addr)[0] != &c.sets[si][0] {
+				return fmt.Errorf("cache: block %#x in wrong set %d", l.addr, si)
+			}
+		}
+	}
+	return nil
+}

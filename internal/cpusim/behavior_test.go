@@ -1,0 +1,112 @@
+package cpusim_test
+
+// Behavioural tests of the system model's throttling mechanisms: memory
+// bandwidth, instruction windows, and MSHRs are what make performance a
+// *measured* closed-loop output rather than an assumption.
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/cpusim"
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/workload"
+)
+
+// runWithConfig runs a mix on a 4x4/64-core system with a custom cpusim
+// config and returns the system IPC.
+func runWithConfig(t *testing.T, mixName string, mutate func(*cpusim.Config)) float64 {
+	t.Helper()
+	ncfg := netConfig(4, 4, 1, 512)
+	net, err := noc.New(ncfg, core.NewRRSelector(ncfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := cpusim.DefaultConfig()
+	mutate(&scfg)
+	sys, err := cpusim.New(net, scfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(15000)
+	return sys.SystemIPC()
+}
+
+// TestWindowSizeThrottles: a smaller instruction window tolerates less
+// miss latency, so IPC must drop on a memory-bound mix.
+func TestWindowSizeThrottles(t *testing.T) {
+	big := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.WindowSize = 64 })
+	small := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.WindowSize = 8 })
+	if small >= big {
+		t.Errorf("window 8 IPC %.1f should trail window 64 IPC %.1f", small, big)
+	}
+	if small < big*0.2 {
+		t.Errorf("window 8 IPC %.1f implausibly low vs %.1f", small, big)
+	}
+}
+
+// TestMSHRsThrottle: one MSHR serializes misses; IPC must collapse
+// relative to 32 MSHRs on a memory-bound mix.
+func TestMSHRsThrottle(t *testing.T) {
+	many := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.MSHRs = 32 })
+	one := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.MSHRs = 1 })
+	if one >= many {
+		t.Errorf("1 MSHR IPC %.1f should trail 32 MSHRs IPC %.1f", one, many)
+	}
+}
+
+// TestDRAMLatencyHurts: tripling DRAM latency must cost IPC on a
+// heavy mix (the memory path is live).
+func TestDRAMLatencyHurts(t *testing.T) {
+	fast := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.DRAMLatency = 80 })
+	slow := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.DRAMLatency = 400 })
+	if slow >= fast {
+		t.Errorf("400-cycle DRAM IPC %.1f should trail 80-cycle IPC %.1f", slow, fast)
+	}
+}
+
+// TestMCConcurrencyBounds: strangling memory-controller parallelism must
+// cost IPC (bandwidth wall), and generous parallelism must not hurt.
+func TestMCConcurrencyBounds(t *testing.T) {
+	normal := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.MCConcurrency = 16 })
+	strangled := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.MCConcurrency = 1 })
+	if strangled >= normal {
+		t.Errorf("1-deep MCs IPC %.1f should trail 16-deep IPC %.1f", strangled, normal)
+	}
+}
+
+// TestLightInsensitiveToMemory: the Light mix barely touches DRAM, so
+// the same DRAM slowdown must cost it far less than Heavy.
+func TestLightInsensitiveToMemory(t *testing.T) {
+	fast := runWithConfig(t, "Light", func(c *cpusim.Config) { c.DRAMLatency = 80 })
+	slow := runWithConfig(t, "Light", func(c *cpusim.Config) { c.DRAMLatency = 400 })
+	lightLoss := 1 - slow/fast
+	hFast := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.DRAMLatency = 80 })
+	hSlow := runWithConfig(t, "Heavy", func(c *cpusim.Config) { c.DRAMLatency = 400 })
+	heavyLoss := 1 - hSlow/hFast
+	if lightLoss > heavyLoss {
+		t.Errorf("Light DRAM sensitivity %.2f exceeds Heavy's %.2f", lightLoss, heavyLoss)
+	}
+}
+
+func TestInvalidSystemConfigs(t *testing.T) {
+	ncfg := netConfig(4, 4, 1, 512)
+	net, err := noc.New(ncfg, core.NewRRSelector(ncfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, _ := workload.MixByName("Light")
+	bad := cpusim.DefaultConfig()
+	bad.WindowSize = 0
+	if _, err := cpusim.New(net, bad, mix); err == nil {
+		t.Error("zero window accepted")
+	}
+	// Wrong-sized explicit assignment.
+	if _, err := cpusim.NewWithAssignment(net, cpusim.DefaultConfig(), nil); err == nil {
+		t.Error("nil assignment accepted")
+	}
+}

@@ -1,0 +1,465 @@
+package cpusim
+
+// This file implements the optional *stateful* MESI directory protocol.
+// The default system model (system.go) generates the paper's 4-hop
+// message sequences probabilistically from each benchmark's profile —
+// statistically faithful, cheap, and what every paper experiment uses.
+// RealCoherence mode replaces the probabilistic directory with an actual
+// one: per-block state (Invalid/Shared/Modified), sharer bitmaps,
+// forwarded requests, invalidation/ack fan-out, and writebacks, driven by
+// per-core synthetic address streams with working-set locality. The
+// protocol invariants (single owner, serialized per-block transactions,
+// ack conservation) are property-tested in coherence_test.go.
+
+import (
+	"fmt"
+
+	"github.com/catnap-noc/catnap/internal/cache"
+	"github.com/catnap-noc/catnap/internal/noc"
+)
+
+// CoherenceConfig parameterizes the stateful directory mode.
+type CoherenceConfig struct {
+	// HotBlocks is each core's private working-set size in cache blocks;
+	// hot blocks absorb HotFrac of its misses.
+	HotBlocks int
+	// HotFrac is the fraction of misses hitting the private working set.
+	HotFrac float64
+	// SharedBlocks is the size of the globally shared region; a miss is
+	// directed there with the profile's SharedFrac probability, which is
+	// what creates multi-sharer blocks and invalidation traffic.
+	SharedBlocks int
+	// ColdSpace is the size of the cold (streaming) address space.
+	ColdSpace int
+	// L1Sets and L1Ways give each core's L1 tag-array geometry (the
+	// Table 1 cache: 32 KB / 64 B blocks, 4-way → 128 sets × 4 ways).
+	L1Sets, L1Ways int
+}
+
+// DefaultCoherenceConfig sizes the address spaces so that shared blocks
+// develop real sharer lists within a short simulation.
+func DefaultCoherenceConfig() CoherenceConfig {
+	return CoherenceConfig{
+		HotBlocks:    512,
+		HotFrac:      0.85,
+		SharedBlocks: 4096,
+		ColdSpace:    1 << 20,
+		L1Sets:       128,
+		L1Ways:       4,
+	}
+}
+
+// coherState is a directory entry's stable state.
+type coherState uint8
+
+const (
+	stateInvalid coherState = iota
+	stateShared
+	stateModified
+)
+
+func (s coherState) String() string {
+	switch s {
+	case stateInvalid:
+		return "I"
+	case stateShared:
+		return "S"
+	case stateModified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// sharerSet is a bitmap over core ids (up to 256).
+type sharerSet [4]uint64
+
+func (s *sharerSet) add(core int)      { s[core>>6] |= 1 << uint(core&63) }
+func (s *sharerSet) remove(core int)   { s[core>>6] &^= 1 << uint(core&63) }
+func (s *sharerSet) has(core int) bool { return s[core>>6]&(1<<uint(core&63)) != 0 }
+func (s *sharerSet) clear()            { *s = sharerSet{} }
+
+func (s *sharerSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// forEach calls fn for every set core id.
+func (s *sharerSet) forEach(fn func(core int)) {
+	for i, w := range s {
+		for w != 0 {
+			bit := w & (-w)
+			core := i<<6 + trailingZeros(bit)
+			fn(core)
+			w &^= bit
+		}
+	}
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// dirEntry is one tracked block at its home directory.
+type dirEntry struct {
+	state   coherState
+	owner   int
+	sharers sharerSet
+	// busy serializes transactions: while a transaction is in flight for
+	// this block, later requests queue here (the home MSHR).
+	busy    bool
+	pending []*coherTxn
+}
+
+// coherTxn is one in-flight stateful-protocol transaction.
+type coherTxn struct {
+	core    int
+	missIdx int
+	addr    uint64
+	home    int
+	write   bool // GetM vs GetS
+	// acksWanted counts invalidation acks the requester still needs.
+	acksWanted int
+	dataSeen   bool
+}
+
+// directory is the distributed stateful directory (all homes share one
+// map keyed by block address; the home node is derived from the address).
+type directory struct {
+	sys     *System
+	cfg     CoherenceConfig
+	entries map[uint64]*dirEntry
+	// l1 is each core's tag array: real LRU victims for writebacks, real
+	// line removal on invalidations.
+	l1 []*cache.SetAssoc
+
+	// protocol statistics
+	getS, getM, invalidations, acks, fwds, writebacks, memFetches int64
+	queued                                                        int64
+}
+
+func newDirectory(sys *System, cfg CoherenceConfig) *directory {
+	d := &directory{sys: sys, cfg: cfg, entries: map[uint64]*dirEntry{}}
+	d.l1 = make([]*cache.SetAssoc, sys.net.Topo().Tiles())
+	for i := range d.l1 {
+		d.l1[i] = cache.MustNew(cfg.L1Sets, cfg.L1Ways)
+	}
+	return d
+}
+
+// homeOf maps a block address to its home node (address-interleaved L2).
+func (d *directory) homeOf(addr uint64) int {
+	// splitmix-style scramble so strided streams spread across homes.
+	z := addr * 0x9e3779b97f4a7c15
+	z ^= z >> 29
+	return int(z % uint64(d.sys.net.Topo().Nodes()))
+}
+
+// entry returns (creating if needed) the directory entry for addr.
+func (d *directory) entry(addr uint64) *dirEntry {
+	e, ok := d.entries[addr]
+	if !ok {
+		e = &dirEntry{state: stateInvalid, owner: -1}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// address draws a block address for a miss by core, from the working-set
+// model.
+func (d *directory) address(c *Core) uint64 {
+	const (
+		privBase   = 0
+		sharedBase = 1 << 40
+		coldBase   = 1 << 41
+	)
+	rng := c.rng
+	if rng.Bernoulli(c.prof.SharedFrac) {
+		return sharedBase + uint64(rng.Intn(d.cfg.SharedBlocks))
+	}
+	if rng.Bernoulli(d.cfg.HotFrac) {
+		return privBase + uint64(c.id)<<22 + uint64(rng.Intn(d.cfg.HotBlocks))
+	}
+	return coldBase + uint64(rng.Intn(d.cfg.ColdSpace))
+}
+
+// launch starts the protocol transaction for a miss (called instead of
+// the probabilistic launchMiss). Evictions happen at fill time, when the
+// L1 tag array yields a real LRU victim.
+func (d *directory) launch(now int64, c *Core, missIdx int) {
+	addr := d.address(c)
+	t := &coherTxn{
+		core: c.id, missIdx: missIdx, addr: addr,
+		home:  d.homeOf(addr),
+		write: c.rng.Bernoulli(c.prof.WriteFrac),
+	}
+	p := d.sys.net.NewPacket(c.node, t.home, noc.ClassRequest, d.sys.cfg.ControlBits)
+	p.Payload = coherMsg{kind: msgRequest, t: t}
+}
+
+// evict handles an L1 fill's LRU victim: dirty blocks the directory
+// still records this core as owning are written back (PutM, directory
+// transitions eagerly at the serialization point); clean or shared
+// victims leave silently — the stale sharer bit is tolerated because
+// invalidations to non-resident lines are acknowledged anyway.
+func (d *directory) evict(c *Core, v cache.Victim) {
+	e, ok := d.entries[v.Addr]
+	if !ok || e.busy {
+		return
+	}
+	if v.Dirty && e.state == stateModified && e.owner == c.id {
+		e.state = stateInvalid
+		e.owner = -1
+		home := d.homeOf(v.Addr)
+		wb := &coherTxn{addr: v.Addr, home: home}
+		p := d.sys.net.NewPacket(c.node, home, noc.ClassAck, d.sys.cfg.DataBits)
+		p.Payload = coherMsg{kind: msgPutM, t: wb}
+	} else if e.state == stateShared {
+		e.sharers.remove(c.id)
+		if e.sharers.count() == 0 {
+			e.state = stateInvalid
+		}
+	}
+}
+
+// coherMsg tags a packet with its protocol role.
+type msgKind uint8
+
+const (
+	msgRequest msgKind = iota // core -> home (GetS/GetM)
+	msgFwd                    // home -> owner (Fwd-GetS/Fwd-GetM)
+	msgInv                    // home -> sharer (invalidate)
+	msgData                   // data -> requester
+	msgInvAck                 // sharer -> requester
+	msgOwnerWB                // owner -> home (downgrade data on Fwd-GetS)
+	msgPutM                   // owner -> home (eviction writeback)
+)
+
+type coherMsg struct {
+	kind msgKind
+	t    *coherTxn
+}
+
+// handle advances the protocol when one of its packets arrives.
+func (d *directory) handle(now int64, p *noc.Packet, m coherMsg) {
+	s := d.sys
+	t := m.t
+	switch m.kind {
+	case msgRequest:
+		e := d.entry(t.addr)
+		if e.busy {
+			// Home-side serialization: queue behind the in-flight
+			// transaction.
+			e.pending = append(e.pending, t)
+			d.queued++
+			return
+		}
+		d.startTxn(now, e, t)
+
+	case msgFwd:
+		// The previous owner supplies data straight to the requester and,
+		// on a read, a copy back to the home. Its own line is invalidated
+		// (Fwd-GetM) or downgraded to clean (Fwd-GetS).
+		c := s.cores[t.core]
+		if owner := d.ownerAt(p.Dst, t); owner >= 0 {
+			if t.write {
+				d.l1[owner].Invalidate(t.addr)
+			}
+		}
+		ready := now + int64(s.cfg.L1FillLatency)
+		s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgData, t: t}, src: p.Dst, dst: c.node, class: noc.ClassResponse, bits: s.cfg.DataBits})
+		if !t.write {
+			wb := &coherTxn{addr: t.addr, home: t.home}
+			s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgOwnerWB, t: wb}, src: p.Dst, dst: t.home, class: noc.ClassAck, bits: s.cfg.ControlBits})
+		}
+		d.fwds++
+
+	case msgInv:
+		// The sharer drops its line (if still resident) and acknowledges
+		// to the requester.
+		for _, core := range s.coresAt(p.Dst) {
+			d.l1[core].Invalidate(t.addr)
+		}
+		c := s.cores[t.core]
+		s.schedule(event{at: now + 1, kind: evSendCoher, t2: &coherMsg{kind: msgInvAck, t: t}, src: p.Dst, dst: c.node, class: noc.ClassAck, bits: s.cfg.ControlBits})
+		d.invalidations++
+
+	case msgInvAck:
+		d.acks++
+		t.acksWanted--
+		d.maybeComplete(now, t)
+
+	case msgData:
+		t.dataSeen = true
+		d.maybeComplete(now, t)
+
+	case msgOwnerWB, msgPutM:
+		d.writebacks++
+		// Data merged at home; nothing further.
+	}
+}
+
+// startTxn runs the directory's state machine for a request on a
+// non-busy entry.
+func (d *directory) startTxn(now int64, e *dirEntry, t *coherTxn) {
+	s := d.sys
+	c := s.cores[t.core]
+	e.busy = true
+	ready := now + int64(s.cfg.L2BankLatency)
+
+	if t.write {
+		d.getM++
+		switch e.state {
+		case stateModified:
+			// Fwd-GetM to the owner; ownership moves.
+			s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgFwd, t: t}, src: t.home, dst: s.cores[e.owner].node, class: noc.ClassForward, bits: s.cfg.ControlBits})
+		case stateShared:
+			// Invalidate every sharer (except the requester); data comes
+			// from the home; the requester collects the acks.
+			n := 0
+			e.sharers.forEach(func(core int) {
+				if core == t.core {
+					return
+				}
+				n++
+				s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgInv, t: t}, src: t.home, dst: s.cores[core].node, class: noc.ClassForward, bits: s.cfg.ControlBits})
+			})
+			t.acksWanted = n
+			s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgData, t: t}, src: t.home, dst: c.node, class: noc.ClassResponse, bits: s.cfg.DataBits})
+		default: // Invalid: fetch from memory
+			d.memData(now, t)
+		}
+		e.state = stateModified
+		e.sharers.clear()
+		e.owner = t.core
+	} else {
+		d.getS++
+		switch e.state {
+		case stateModified:
+			// Fwd-GetS: owner supplies data and downgrades; home gets a
+			// copy back.
+			s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgFwd, t: t}, src: t.home, dst: s.cores[e.owner].node, class: noc.ClassForward, bits: s.cfg.ControlBits})
+			e.sharers.add(e.owner)
+			e.owner = -1
+			e.state = stateShared
+			e.sharers.add(t.core)
+		case stateShared:
+			s.schedule(event{at: ready, kind: evSendCoher, t2: &coherMsg{kind: msgData, t: t}, src: t.home, dst: c.node, class: noc.ClassResponse, bits: s.cfg.DataBits})
+			e.sharers.add(t.core)
+		default:
+			d.memData(now, t)
+			e.state = stateShared
+			e.sharers.add(t.core)
+		}
+	}
+}
+
+// memData fetches the block from the memory controller and sends it to
+// the requester (home -> MC -> requester, as in the probabilistic model).
+func (d *directory) memData(now int64, t *coherTxn) {
+	s := d.sys
+	d.memFetches++
+	mcNode := s.mcs[int(t.addr)%len(s.mcs)].node
+	// Control hop home -> MC is folded into the MC service start (the
+	// dominant term is the 80-cycle DRAM access); data returns over the
+	// network as a real packet.
+	done := s.mcOf[mcNode].service(now+int64(s.cfg.L2BankLatency), int64(s.cfg.DRAMLatency))
+	s.schedule(event{at: done, kind: evSendCoher, t2: &coherMsg{kind: msgData, t: t}, src: mcNode, dst: s.cores[t.core].node, class: noc.ClassResponse, bits: s.cfg.DataBits})
+}
+
+// maybeComplete finishes the transaction when data has arrived and every
+// invalidation ack is in, then unblocks the entry and starts the next
+// queued request.
+func (d *directory) maybeComplete(now int64, t *coherTxn) {
+	if !t.dataSeen || t.acksWanted > 0 {
+		return
+	}
+	s := d.sys
+	s.schedule(event{at: now + int64(s.cfg.L1FillLatency), kind: evComplete, t: &txn{core: t.core, missIdx: t.missIdx}})
+
+	// Fill the requester's L1; a full set yields a real LRU victim.
+	if v, evicted := d.l1[t.core].Insert(t.addr, t.write); evicted {
+		d.evict(s.cores[t.core], v)
+	}
+
+	// Unblock the home entry; serve the next queued request.
+	e := d.entry(t.addr)
+	e.busy = false
+	if len(e.pending) > 0 {
+		next := e.pending[0]
+		e.pending = e.pending[1:]
+		d.startTxn(now, e, next)
+	}
+}
+
+// CheckInvariants verifies the directory's stable-state invariants:
+// Modified entries have exactly one owner and no sharers; Shared entries
+// have at least one sharer and no owner; Invalid entries have neither.
+// Pending queues must be empty when quiesced (pendingOK).
+func (d *directory) CheckInvariants(requireQuiesced bool) error {
+	for addr, e := range d.entries {
+		switch e.state {
+		case stateModified:
+			if e.owner < 0 || e.sharers.count() != 0 {
+				return fmt.Errorf("coherence: block %#x M with owner=%d sharers=%d", addr, e.owner, e.sharers.count())
+			}
+		case stateShared:
+			if e.owner != -1 || e.sharers.count() == 0 {
+				return fmt.Errorf("coherence: block %#x S with owner=%d sharers=%d", addr, e.owner, e.sharers.count())
+			}
+		case stateInvalid:
+			if e.owner != -1 && e.owner != 0 { // owner -1 is canonical; fresh entries use -1
+				return fmt.Errorf("coherence: block %#x I with owner=%d", addr, e.owner)
+			}
+		}
+		if requireQuiesced && (e.busy || len(e.pending) > 0) {
+			return fmt.Errorf("coherence: block %#x busy=%v pending=%d after quiesce", addr, e.busy, len(e.pending))
+		}
+	}
+	return nil
+}
+
+// ownerAt resolves which core at a node the forward addresses: the
+// directory recorded the owner core before forwarding, so search the
+// node's cores for one whose L1 holds the block; −1 if none (already
+// evicted).
+func (d *directory) ownerAt(node int, t *coherTxn) int {
+	for _, core := range d.sys.coresAt(node) {
+		if d.l1[core].Contains(t.addr) {
+			return core
+		}
+	}
+	return -1
+}
+
+// Stats returns protocol message counts.
+func (d *directory) Stats() (getS, getM, invs, acks, fwds, wbs, mem int64) {
+	return d.getS, d.getM, d.invalidations, d.acks, d.fwds, d.writebacks, d.memFetches
+}
+
+// l1Totals aggregates every core's tag-array statistics.
+func (d *directory) l1Totals() (occupancy int, evictions, invalidations uint64) {
+	for _, c := range d.l1 {
+		occupancy += c.Occupancy()
+		_, _, ev, inv := c.Stats()
+		evictions += ev
+		invalidations += inv
+	}
+	return
+}

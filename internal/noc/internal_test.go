@@ -1,0 +1,260 @@
+package noc
+
+// White-box tests for the router's internal machinery: the VC ring
+// buffer, the staging wheels, wormhole state transitions, and the power
+// state machine's timing.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/catnap-noc/catnap/internal/topology"
+)
+
+func internalConfig() Config {
+	return Config{
+		Rows: 2, Cols: 2, TilesPerNode: 4, RegionDim: 2,
+		Subnets: 1, LinkWidthBits: 512,
+		VCs: 2, VCDepth: 4, InjQueueFlits: 16,
+		RouterDelay: 2, LinkDelay: 1, CreditDelay: 1,
+		TWakeup: 10, WakeupHidden: 3, TIdleDetect: 4, TBreakeven: 12,
+	}
+}
+
+type firstReady struct{}
+
+func (firstReady) Select(now int64, node int, pkt *Packet, ready []bool) int {
+	for s, ok := range ready {
+		if ok {
+			return s
+		}
+	}
+	return -1
+}
+
+func TestVCRingBuffer(t *testing.T) {
+	vc := vcState{q: make([]flit, 4), outVC: -1}
+	if !vc.empty() {
+		t.Fatal("fresh VC not empty")
+	}
+	p := &Packet{NumFlits: 8}
+	for i := 0; i < 4; i++ {
+		vc.push(flit{pkt: p, seq: int32(i)})
+	}
+	if vc.empty() || vc.count != 4 {
+		t.Fatalf("count = %d", vc.count)
+	}
+	// FIFO order across wraparound.
+	for i := 0; i < 2; i++ {
+		if f := vc.pop(); f.seq != int32(i) {
+			t.Fatalf("pop %d: seq %d", i, f.seq)
+		}
+	}
+	vc.push(flit{pkt: p, seq: 4})
+	vc.push(flit{pkt: p, seq: 5})
+	for i := 2; i < 6; i++ {
+		if f := vc.pop(); f.seq != int32(i) {
+			t.Fatalf("pop: want seq %d got %d", i, f.seq)
+		}
+	}
+	if !vc.empty() {
+		t.Fatal("VC should be empty")
+	}
+}
+
+func TestVCOverflowPanics(t *testing.T) {
+	vc := vcState{q: make([]flit, 2)}
+	p := &Packet{NumFlits: 4}
+	vc.push(flit{pkt: p})
+	vc.push(flit{pkt: p, seq: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow should panic (credit accounting bug)")
+		}
+	}()
+	vc.push(flit{pkt: p, seq: 2})
+}
+
+// TestVCPopClearsPacketRef: popped slots must not retain the packet (GC
+// hygiene for long simulations).
+func TestVCPopClearsPacketRef(t *testing.T) {
+	vc := vcState{q: make([]flit, 2)}
+	p := &Packet{NumFlits: 1}
+	vc.push(flit{pkt: p})
+	vc.pop()
+	if vc.q[0].pkt != nil {
+		t.Error("pop retained the packet reference")
+	}
+}
+
+// TestWheelWrap: events staged across the wheel's wrap point must arrive
+// at the right cycles.
+func TestWheelWrap(t *testing.T) {
+	net, err := New(internalConfig(), firstReady{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.subnets[0]
+	// Run the clock close to a wheel multiple, then stage and check.
+	net.Run(int64(s.wheelSize*3 - 2))
+	base := net.Now()
+	p := &Packet{ID: 1, Dst: 0, NumFlits: 1}
+	s.stageArrival(base+2, 0, int(topology.North), 0, flit{pkt: p, nextPort: uint8(topology.Local)})
+	net.Step() // base: nothing arrives
+	if got := s.routers[0].TotalOccupancy(); got != 0 {
+		t.Fatalf("early arrival: occupancy %d", got)
+	}
+	net.Step() // base+1: still nothing
+	if got := s.routers[0].TotalOccupancy(); got != 0 {
+		t.Fatalf("early arrival: occupancy %d", got)
+	}
+	net.Step() // base+2: the flit lands
+	if got := s.routers[0].TotalOccupancy(); got != 1 {
+		t.Fatalf("arrival missed: occupancy %d", got)
+	}
+}
+
+// TestWormholeStatePersistsAcrossEmptyBuffer: the per-packet route/VC
+// allocation must survive the FIFO momentarily draining between head and
+// body flits.
+func TestWormholeStatePersistsAcrossEmptyBuffer(t *testing.T) {
+	net, err := New(internalConfig(), firstReady{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-flit packet from node 0 to node 3 (one X hop, one Y hop on the
+	// 2x2 mesh): the NI streams one flit per cycle, so at the first
+	// router the head can depart before the body arrives.
+	pkt := net.NewPacket(0, 3, ClassSynthetic, 1024)
+	net.Run(60)
+	if pkt.ArriveTime == 0 {
+		t.Fatal("packet not delivered")
+	}
+	if err := net.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPowerStateTimings: wake() must honour the delay and keep the
+// earliest completion when signals race.
+func TestPowerStateTimings(t *testing.T) {
+	net, err := New(internalConfig(), firstReady{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &net.subnets[0].routers[0]
+	r.sleep(100)
+	if r.state != PowerAsleep {
+		t.Fatal("sleep failed")
+	}
+	r.wake(100, 10)
+	if r.state != PowerWaking || r.wakeAt != 110 {
+		t.Fatalf("state=%v wakeAt=%d", r.state, r.wakeAt)
+	}
+	// A faster signal (look-ahead) accelerates the wake.
+	r.wake(101, 7)
+	if r.wakeAt != 108 {
+		t.Fatalf("wakeAt=%d, want 108 (earliest wins)", r.wakeAt)
+	}
+	// A slower one does not delay it.
+	r.wake(102, 10)
+	if r.wakeAt != 108 {
+		t.Fatalf("wakeAt=%d after slower signal", r.wakeAt)
+	}
+	// Waking a running router is a no-op.
+	r.state = PowerActive
+	r.wake(200, 10)
+	if r.state != PowerActive {
+		t.Fatal("wake disturbed an active router")
+	}
+}
+
+// TestFlitsForWidthProperty: serialization length is ceil(size/width),
+// at least 1, and total bits carried never shrink.
+func TestFlitsForWidthProperty(t *testing.T) {
+	f := func(size uint16, widthSel uint8) bool {
+		widths := []int{64, 128, 256, 512}
+		w := widths[int(widthSel)%len(widths)]
+		n := FlitsForWidth(int(size), w)
+		if n < 1 {
+			return false
+		}
+		if int(size) > 0 && (n-1)*w >= int(size) {
+			return false // too many flits
+		}
+		return n*w >= int(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlitHeadTail(t *testing.T) {
+	p := &Packet{NumFlits: 3}
+	cases := []struct {
+		seq        int32
+		head, tail bool
+	}{{0, true, false}, {1, false, false}, {2, false, true}}
+	for _, c := range cases {
+		f := flit{pkt: p, seq: c.seq}
+		if f.head() != c.head || f.tail() != c.tail {
+			t.Errorf("seq %d: head=%v tail=%v", c.seq, f.head(), f.tail())
+		}
+	}
+	single := flit{pkt: &Packet{NumFlits: 1}}
+	if !single.head() || !single.tail() {
+		t.Error("single-flit packet must be head and tail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := internalConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.TilesPerNode = 0 },
+		func(c *Config) { c.RegionDim = 3 },
+		func(c *Config) { c.Subnets = 0 },
+		func(c *Config) { c.LinkWidthBits = 0 },
+		func(c *Config) { c.VCs = 33 },
+		func(c *Config) { c.VCDepth = 0 },
+		func(c *Config) { c.InjQueueFlits = 0 },
+		func(c *Config) { c.RouterDelay = 0 },
+		func(c *Config) { c.LinkDelay = 0 },
+		func(c *Config) { c.CreditDelay = -1 },
+		func(c *Config) { c.WakeupHidden = c.TWakeup + 1 },
+		func(c *Config) { c.TBreakeven = -1 },
+	}
+	for i, m := range mutations {
+		c := internalConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestClassVCMaskResolution(t *testing.T) {
+	c := internalConfig()
+	c.VCs = 4
+	if m := c.vcMask(ClassSynthetic); m != 0xF {
+		t.Errorf("zero mask should mean all VCs, got %#x", m)
+	}
+	c.ClassVCMask[ClassRequest] = 1 << 0
+	if m := c.vcMask(ClassRequest); m != 1 {
+		t.Errorf("explicit mask mangled: %#x", m)
+	}
+	// Masks are clipped to the configured VC count.
+	c.ClassVCMask[ClassAck] = 0xFF00 | 1<<1
+	if m := c.vcMask(ClassAck); m != 1<<1 {
+		t.Errorf("mask not clipped: %#x", m)
+	}
+}
+
+func TestPowerStateString(t *testing.T) {
+	if PowerActive.String() != "active" || PowerAsleep.String() != "asleep" || PowerWaking.String() != "waking" {
+		t.Error("state names changed")
+	}
+}

@@ -1,0 +1,300 @@
+package noc
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/catnap-noc/catnap/internal/stats"
+	"github.com/catnap-noc/catnap/internal/topology"
+)
+
+// Network is one complete on-chip network: Subnets parallel subnetworks
+// over a shared concentrated mesh, one NI per node, a subnet-selection
+// policy and an optional power-gating policy.
+//
+// The per-cycle execution order (Step) is:
+//
+//  1. deliver  — staged link flits, credits, and ejections land
+//  2. inject   — NIs admit, select subnets for, and stream packets
+//  3. route    — every active router runs VC and switch allocation
+//  4. power    — routers advance gating state machines
+//  5. observe  — congestion sampling, RCS latching, system models
+//
+// Phases 1–3 only *stage* future events (wheels), so no router observes
+// another router's same-cycle decisions: the simulation is deterministic
+// and order-independent within a phase.
+type Network struct {
+	cfg       *Config
+	topo      topology.Topology
+	localPort int
+	subnets   []*Subnet
+	nis       []*NI
+	selector  SubnetSelector
+	gating    GatingPolicy
+	obs       []CycleObserver
+
+	now        int64
+	nextPktID  uint64
+	sinks      []func(now int64, p *Packet)
+	inFlight   int64
+	latency    *stats.Latency
+	netLatency *stats.Latency
+
+	parallel bool
+
+	injectedPkts int64
+	ejectedPkts  int64
+	ejectedFlits int64
+	createdPkts  int64
+}
+
+// New builds a network from cfg with the given subnet selector. cfg is
+// copied; the selector must be non-nil. Power gating is disabled until
+// SetGatingPolicy is called.
+func New(cfg Config, selector SubnetSelector) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if selector == nil {
+		return nil, fmt.Errorf("noc: nil subnet selector")
+	}
+	topo := cfg.topology()
+	n := &Network{
+		cfg:        &cfg,
+		topo:       topo,
+		localPort:  topo.Radix() - 1,
+		selector:   selector,
+		latency:    stats.NewLatency(0),
+		netLatency: stats.NewLatency(0),
+	}
+	n.subnets = make([]*Subnet, cfg.Subnets)
+	for s := range n.subnets {
+		n.subnets[s] = newSubnet(n, s)
+	}
+	n.nis = make([]*NI, cfg.Nodes())
+	for i := range n.nis {
+		n.nis[i] = newNI(n, i)
+	}
+	return n, nil
+}
+
+// SetGatingPolicy installs (or, with nil, removes) the power-gating
+// policy. Call before stepping.
+func (n *Network) SetGatingPolicy(p GatingPolicy) { n.gating = p }
+
+// SetSelector replaces the subnet-selection policy. Policies that read
+// congestion state need the network to exist before they can be built, so
+// the usual construction order is: New with a placeholder selector, build
+// the detector over the network, then SetSelector with the real policy.
+func (n *Network) SetSelector(s SubnetSelector) {
+	if s == nil {
+		panic("noc: nil subnet selector")
+	}
+	n.selector = s
+}
+
+// AddObserver registers an end-of-cycle observer. Observers run in
+// registration order.
+func (n *Network) AddObserver(o CycleObserver) { n.obs = append(n.obs, o) }
+
+// AddSink registers a delivery callback invoked for every packet when its
+// tail flit ejects; closed-loop system models use one to unblock cores,
+// measurement windows use another. Sinks run in registration order.
+func (n *Network) AddSink(f func(now int64, p *Packet)) { n.sinks = append(n.sinks, f) }
+
+// Config returns the network's configuration (read-only by convention).
+func (n *Network) Config() *Config { return n.cfg }
+
+// Topo returns the network topology.
+func (n *Network) Topo() topology.Topology { return n.topo }
+
+// Subnet returns subnetwork s.
+func (n *Network) Subnet(s int) *Subnet { return n.subnets[s] }
+
+// Subnets returns the number of subnetworks.
+func (n *Network) Subnets() int { return len(n.subnets) }
+
+// NI returns the network interface of node i.
+func (n *Network) NI(i int) *NI { return n.nis[i] }
+
+// Now returns the current cycle (the cycle the next Step will execute).
+func (n *Network) Now() int64 { return n.now }
+
+// NewPacket creates a packet from src to dst with a unique ID and the
+// current cycle as its creation time, and enqueues it at src's NI source
+// queue. It returns the packet for callers that track completion.
+func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet {
+	p := &Packet{
+		ID:         n.nextPktID,
+		Src:        src,
+		Dst:        dst,
+		Class:      class,
+		SizeBits:   sizeBits,
+		CreateTime: n.now,
+		Subnet:     -1,
+	}
+	n.nextPktID++
+	n.createdPkts++
+	n.inFlight++
+	n.nis[src].enqueue(p)
+	return p
+}
+
+// SetParallel enables (or disables) parallel execution of the router and
+// power phases, one goroutine per subnet. Subnets share no mutable state
+// during those phases — wheels, events, and wake signals are all
+// per-subnet, and policies only read the (phase-stable) detector state —
+// so results are bit-identical to sequential execution; the equivalence
+// is asserted by TestParallelEquivalence. Custom GatingPolicy
+// implementations must tolerate concurrent calls from different subnets
+// when this is on.
+func (n *Network) SetParallel(on bool) { n.parallel = on && len(n.subnets) > 1 }
+
+// Step advances the network by one cycle.
+func (n *Network) Step() {
+	t := n.now
+	for _, s := range n.subnets {
+		s.deliverPhase(t)
+	}
+	for _, ni := range n.nis {
+		ni.injectPhase(t)
+	}
+	if n.parallel {
+		var wg sync.WaitGroup
+		for _, s := range n.subnets {
+			wg.Add(1)
+			go func(s *Subnet) {
+				defer wg.Done()
+				s.routerPhase(t)
+				s.powerPhase(t)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for _, s := range n.subnets {
+			s.routerPhase(t)
+		}
+		for _, s := range n.subnets {
+			s.powerPhase(t)
+		}
+	}
+	for _, o := range n.obs {
+		o.AfterCycle(t)
+	}
+	n.now = t + 1
+}
+
+// Run advances the network by cycles steps.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain steps the network until no packet is in flight or maxCycles
+// elapse; it returns true if the network fully drained. Useful at the end
+// of finite workloads.
+func (n *Network) Drain(maxCycles int64) bool {
+	deadline := n.now + maxCycles
+	for n.inFlight > 0 && n.now < deadline {
+		n.Step()
+	}
+	return n.inFlight == 0
+}
+
+// eject completes a flit's journey at its destination NI; the tail flit
+// completes the packet.
+func (n *Network) eject(now int64, node int, f flit) {
+	p := f.pkt
+	if p.Dst != node {
+		panic(fmt.Sprintf("noc: packet %d ejected at node %d, wanted %d", p.ID, node, p.Dst))
+	}
+	n.ejectedFlits++
+	if !f.tail() {
+		return
+	}
+	p.ArriveTime = now
+	n.ejectedPkts++
+	n.inFlight--
+	n.latency.Observe(p.Latency())
+	n.netLatency.Observe(p.NetworkLatency())
+	for _, sink := range n.sinks {
+		sink(now, p)
+	}
+}
+
+// niStreaming reports whether node's NI is mid-packet into subnet s.
+func (n *Network) niStreaming(s, node int) bool { return n.nis[node].streaming(s) }
+
+// FlushCSC closes all open sleep periods; call once before reading CSC.
+func (n *Network) FlushCSC() {
+	for _, s := range n.subnets {
+		s.flushCSC(n.now)
+	}
+}
+
+// Latency returns the end-to-end packet latency distribution (source
+// queue entry to tail ejection).
+func (n *Network) Latency() *stats.Latency { return n.latency }
+
+// NetworkLatency returns the in-network latency distribution (head
+// injection to tail ejection).
+func (n *Network) NetworkLatency() *stats.Latency { return n.netLatency }
+
+// Counts returns cumulative packet counters: created (entered a source
+// queue), injected (head flit entered a subnet), ejected (tail flit
+// delivered).
+func (n *Network) Counts() (created, injected, ejected int64) {
+	return n.createdPkts, n.injectedPkts, n.ejectedPkts
+}
+
+// EjectedFlits returns the cumulative ejected flit count.
+func (n *Network) EjectedFlits() int64 { return n.ejectedFlits }
+
+// InFlight returns the number of packets created but not yet delivered.
+func (n *Network) InFlight() int64 { return n.inFlight }
+
+// Events returns a fresh aggregate of all subnets' power events.
+func (n *Network) Events() PowerEvents {
+	var e PowerEvents
+	for _, s := range n.subnets {
+		e.Add(s.events)
+	}
+	return e
+}
+
+// CompensatedSleepCycles returns the total compensated sleep cycles summed
+// over every router in every subnet, and the corresponding router-cycle
+// total (elapsed × routers), so callers can report the paper's CSC
+// percentage. Call FlushCSC first.
+func (n *Network) CompensatedSleepCycles() (csc, routerCycles int64) {
+	for _, s := range n.subnets {
+		for i := range s.routers {
+			csc += s.routers[i].csc.Compensated()
+		}
+	}
+	routerCycles = n.now * int64(n.cfg.Nodes()) * int64(n.cfg.Subnets)
+	return csc, routerCycles
+}
+
+// SubnetFlitShare returns, for each subnet, the fraction of all injected
+// flits that entered it (Figure 12(b)'s utilization series reads this
+// windowed; this is the cumulative version used by tests).
+func (n *Network) SubnetFlitShare() []float64 {
+	total := int64(0)
+	per := make([]int64, n.cfg.Subnets)
+	for _, ni := range n.nis {
+		for s, c := range ni.FlitsPerSubnet {
+			per[s] += c
+			total += c
+		}
+	}
+	share := make([]float64, n.cfg.Subnets)
+	if total == 0 {
+		return share
+	}
+	for s := range share {
+		share[s] = float64(per[s]) / float64(total)
+	}
+	return share
+}

@@ -1,0 +1,235 @@
+package noc
+
+// pktStream is one packet mid-serialization into a subnet.
+type pktStream struct {
+	pkt     *Packet
+	nextSeq int
+	vc      int
+}
+
+// subnetChannel is the NI's injection channel into one subnet: the link to
+// the subnet's local router input port. The channel carries one flit per
+// cycle but may interleave up to VCs packets, one per local-port virtual
+// channel — exactly the concurrency VCs exist to provide. The NI is the
+// upstream of that input port, so it owns the credit and VC-allocation
+// bookkeeping a router output port would own.
+type subnetChannel struct {
+	streams []pktStream
+	credits []int
+	busy    []bool
+	rr      int
+	active  int
+}
+
+// freeSlot returns an idle stream index, or -1.
+func (ch *subnetChannel) freeSlot() int {
+	for i := range ch.streams {
+		if ch.streams[i].pkt == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// freeVC returns a free local-port VC within mask, or -1.
+func (ch *subnetChannel) freeVC(mask uint32) int {
+	for v := range ch.busy {
+		if mask&(1<<uint(v)) == 0 || ch.busy[v] {
+			continue
+		}
+		return v
+	}
+	return -1
+}
+
+// NI is the network interface shared by a node's tiles (four per node in
+// the paper's concentrated mesh). It owns the bounded injection queue the
+// IQOcc congestion metric reads, an unbounded source queue that absorbs
+// open-loop oversubscription, one injection channel per subnet, and the
+// ejection path.
+type NI struct {
+	net  *Network
+	node int
+
+	// sourceQ holds packets that have been created but do not yet fit in
+	// the bounded injection queue. Open-loop traffic measures offered vs
+	// accepted throughput through this queue; closed-loop models keep it
+	// near-empty by construction (cores block on MSHRs).
+	sourceQ []*Packet
+	// injQ is the bounded NI buffer (capacity Config.InjQueueFlits in
+	// flits). Packets at its head are assigned a subnet by the selector.
+	injQ      []*Packet
+	injQFlits int
+
+	channels []subnetChannel
+
+	// Cumulative injection counters for the IR congestion metric and the
+	// Figure 12(b) subnet-utilization plot.
+	FlitsInjected   int64
+	PacketsInjected int64
+	// FlitsPerSubnet counts flits injected into each subnet at this node.
+	FlitsPerSubnet []int64
+
+	readyScratch []bool
+}
+
+func newNI(net *Network, node int) *NI {
+	cfg := net.cfg
+	ni := &NI{net: net, node: node}
+	ni.channels = make([]subnetChannel, cfg.Subnets)
+	for s := range ni.channels {
+		ch := &ni.channels[s]
+		ch.streams = make([]pktStream, cfg.VCs)
+		ch.credits = make([]int, cfg.VCs)
+		ch.busy = make([]bool, cfg.VCs)
+		for v := range ch.credits {
+			ch.credits[v] = cfg.VCDepth
+		}
+	}
+	ni.FlitsPerSubnet = make([]int64, cfg.Subnets)
+	ni.readyScratch = make([]bool, cfg.Subnets)
+	return ni
+}
+
+// enqueue admits a freshly created packet into the source queue.
+func (ni *NI) enqueue(p *Packet) {
+	ni.sourceQ = append(ni.sourceQ, p)
+}
+
+// QueueOccupancyFlits returns the bounded injection queue's occupancy in
+// flits — the IQOcc congestion metric.
+func (ni *NI) QueueOccupancyFlits() int { return ni.injQFlits }
+
+// SourceQueueLen returns the unbounded source queue length in packets
+// (diagnostic; large values mean the offered load exceeds acceptance).
+func (ni *NI) SourceQueueLen() int { return len(ni.sourceQ) }
+
+// Backlogged reports whether this NI holds any packet that has not yet
+// fully entered the network.
+func (ni *NI) Backlogged() bool {
+	if len(ni.sourceQ) > 0 || len(ni.injQ) > 0 {
+		return true
+	}
+	for s := range ni.channels {
+		if ni.channels[s].active > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// streaming reports whether the NI is mid-packet into subnet s (the
+// subnet's local router must then stay awake).
+func (ni *NI) streaming(s int) bool { return ni.channels[s].active > 0 }
+
+// creditReturn gives back one buffer slot of the local router's input VC.
+func (ni *NI) creditReturn(subnet, vc int) {
+	ni.channels[subnet].credits[vc]++
+}
+
+// injectPhase runs once per cycle: admit packets into the bounded queue,
+// assign the head-of-line packet to a subnet via the selector, and stream
+// one flit per subnet channel.
+func (ni *NI) injectPhase(now int64) {
+	cfg := ni.net.cfg
+
+	// Admit from the source queue while flit capacity remains. Packet
+	// flit counts are measured at subnet width (all subnets share one
+	// width by construction). A single packet larger than the whole queue
+	// is admitted alone.
+	for len(ni.sourceQ) > 0 {
+		p := ni.sourceQ[0]
+		nf := FlitsForWidth(p.SizeBits, cfg.LinkWidthBits)
+		if ni.injQFlits+nf > cfg.InjQueueFlits && ni.injQFlits > 0 {
+			break
+		}
+		p.NumFlits = nf
+		ni.sourceQ[0] = nil
+		ni.sourceQ = ni.sourceQ[1:]
+		ni.injQ = append(ni.injQ, p)
+		ni.injQFlits += nf
+	}
+
+	// Head-of-line subnet selection: the head packet is assigned to a
+	// subnet whose channel has a free stream slot and a free local VC for
+	// the packet's class.
+	if len(ni.injQ) > 0 {
+		head := ni.injQ[0]
+		mask := cfg.vcMask(head.Class)
+		ready := ni.readyScratch
+		for s := range ready {
+			ch := &ni.channels[s]
+			ready[s] = ch.freeSlot() >= 0 && ch.freeVC(mask) >= 0
+		}
+		if s := ni.net.selector.Select(now, ni.node, head, ready); s >= 0 {
+			if s >= cfg.Subnets || !ready[s] {
+				panic("noc: selector chose an unavailable subnet")
+			}
+			ch := &ni.channels[s]
+			slot := ch.freeSlot()
+			vc := ch.freeVC(mask)
+			ch.streams[slot] = pktStream{pkt: head, vc: vc}
+			ch.busy[vc] = true
+			ch.active++
+			head.Subnet = s
+			ni.injQ[0] = nil
+			ni.injQ = ni.injQ[1:]
+		}
+	}
+
+	// Stream one flit per channel, round-robin over its active streams
+	// that hold credits, provided the subnet's local router is awake.
+	for s := range ni.channels {
+		ch := &ni.channels[s]
+		if ch.active == 0 {
+			continue
+		}
+		router := &ni.net.subnets[s].routers[ni.node]
+		if router.state != PowerActive {
+			if router.state == PowerAsleep {
+				// NI wake-up: nothing hides the latency here; the packet
+				// waits out the full T-wakeup.
+				router.wake(now, cfg.TWakeup)
+				ni.net.subnets[s].events.WakeupSignals++
+			}
+			continue
+		}
+		n := len(ch.streams)
+		for k := 0; k < n; k++ {
+			i := (ch.rr + k) % n
+			st := &ch.streams[i]
+			if st.pkt == nil || ch.credits[st.vc] <= 0 {
+				continue
+			}
+			ni.streamFlit(now, s, ch, st)
+			ch.rr = (i + 1) % n
+			break
+		}
+	}
+}
+
+// streamFlit sends the next flit of one stream into the subnet.
+func (ni *NI) streamFlit(now int64, s int, ch *subnetChannel, st *pktStream) {
+	cfg := ni.net.cfg
+	p := st.pkt
+	f := flit{pkt: p, seq: int32(st.nextSeq)}
+	if f.head() {
+		f.nextPort = uint8(ni.net.topo.RoutePort(ni.node, p.Dst))
+		p.InjectTime = now
+		ni.PacketsInjected++
+		ni.net.injectedPkts++
+	}
+	ch.credits[st.vc]--
+	sub := ni.net.subnets[s]
+	sub.stageArrival(now+int64(cfg.LinkDelay), ni.node, ni.net.localPort, st.vc, f)
+	sub.events.NIFlits++
+	ni.FlitsInjected++
+	ni.FlitsPerSubnet[s]++
+	ni.injQFlits--
+	st.nextSeq++
+	if st.nextSeq == p.NumFlits {
+		ch.busy[st.vc] = false
+		ch.active--
+		*st = pktStream{}
+	}
+}

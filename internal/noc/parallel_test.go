@@ -1,0 +1,62 @@
+package noc_test
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/congestion"
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// runGated runs the full Catnap stack for `cycles` and returns the
+// observable outcome fingerprint.
+func runGated(t *testing.T, parallel bool, cycles int) (int64, float64, noc.PowerEvents) {
+	t.Helper()
+	cfg := testConfig(8, 8, 4, 128)
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := congestion.NewDetector(net, congestion.Default(congestion.BFM))
+	net.AddObserver(det)
+	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
+	net.SetGatingPolicy(core.NewCatnapGating(det))
+	net.SetParallel(parallel)
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Fig12Bursts(), 99)
+	for i := 0; i < cycles; i++ {
+		gen.Tick(net.Now())
+		net.Step()
+	}
+	_, _, ejected := net.Counts()
+	return ejected, net.Latency().Mean(), net.Events()
+}
+
+// TestParallelEquivalence: parallel per-subnet execution must be
+// bit-identical to sequential execution — same deliveries, latencies, and
+// switching-activity counters — across a bursty run that exercises
+// gating transitions.
+func TestParallelEquivalence(t *testing.T) {
+	e1, l1, ev1 := runGated(t, false, 3500)
+	e2, l2, ev2 := runGated(t, true, 3500)
+	if e1 != e2 {
+		t.Errorf("ejected: sequential %d vs parallel %d", e1, e2)
+	}
+	if l1 != l2 {
+		t.Errorf("mean latency: sequential %v vs parallel %v", l1, l2)
+	}
+	if ev1 != ev2 {
+		t.Errorf("power events diverge:\nseq: %+v\npar: %+v", ev1, ev2)
+	}
+	if e1 == 0 {
+		t.Fatal("no traffic delivered")
+	}
+}
+
+// TestParallelRace runs the parallel path under the race detector's eye
+// (meaningful with -race) with all policies active.
+func TestParallelRace(t *testing.T) {
+	if _, _, ev := runGated(t, true, 1500); ev.BufferWrites == 0 {
+		t.Fatal("no activity")
+	}
+}

@@ -1,0 +1,507 @@
+package noc
+
+import (
+	"github.com/catnap-noc/catnap/internal/stats"
+	"github.com/catnap-noc/catnap/internal/topology"
+)
+
+// PowerState is the power-gating state of a router and its associated
+// links (paper Figure 5).
+type PowerState uint8
+
+// Router power states. A router transitions Active→Asleep in one cycle
+// when the gating policy permits, and Asleep→Waking→Active over the
+// wake-up delay while the local voltage rail recharges.
+const (
+	PowerActive PowerState = iota
+	PowerAsleep
+	PowerWaking
+)
+
+// String returns the state name.
+func (s PowerState) String() string {
+	switch s {
+	case PowerActive:
+		return "active"
+	case PowerAsleep:
+		return "asleep"
+	case PowerWaking:
+		return "waking"
+	default:
+		return "invalid"
+	}
+}
+
+// vcState is one virtual-channel FIFO on an input port, together with the
+// wormhole allocation state of the packet currently draining through it.
+// The FIFO may hold flits of more than one packet back to back (a new
+// packet's head can be buffered behind the previous packet's tail), but
+// route/VC allocation always describes the packet at the front.
+type vcState struct {
+	q     []flit // ring buffer, len == VCDepth
+	head  int
+	count int
+
+	// Wormhole state for the front packet. Persists from the head flit's
+	// allocation until the tail flit traverses the switch, even across
+	// cycles where the FIFO is momentarily empty (body flits in flight).
+	curPkt   *Packet
+	outPort  int
+	outVC    int8
+	routeSet bool
+	// crossed snapshots the head flit's dateline bits when the route is
+	// latched (torus mode only).
+	crossed uint8
+}
+
+func (v *vcState) empty() bool { return v.count == 0 }
+
+func (v *vcState) front() *flit { return &v.q[v.head] }
+
+func (v *vcState) push(f flit) {
+	if v.count == len(v.q) {
+		panic("noc: VC buffer overflow (credit accounting bug)")
+	}
+	v.q[(v.head+v.count)%len(v.q)] = f
+	v.count++
+}
+
+func (v *vcState) pop() flit {
+	f := v.q[v.head]
+	v.q[v.head].pkt = nil // do not retain the packet past its dequeue
+	v.head = (v.head + 1) % len(v.q)
+	v.count--
+	return f
+}
+
+// inputPort is one of a router's five input ports.
+type inputPort struct {
+	vcs []vcState
+	// occupancy is the total buffered flits across the port's VCs; the BFM
+	// and BFA congestion metrics read it every cycle, so it is maintained
+	// incrementally.
+	occupancy int
+}
+
+// outputPort tracks downstream buffer credits and downstream virtual
+// channel ownership for one of a router's output ports.
+type outputPort struct {
+	// downstream is the node id of the next router, or -1 for the local
+	// (ejection) port and for mesh-edge ports with no link.
+	downstream int
+	// downInPort is the input port index at the downstream router this
+	// link feeds.
+	downInPort int
+	// credits[v] is the free-slot count of downstream VC v. Nil for the
+	// Local port, whose ejection sink is not credit-limited (ejection
+	// bandwidth is limited structurally to one crossbar grant per cycle).
+	credits []int
+	// busy[v] marks downstream VC v as allocated to an in-flight packet
+	// (wormhole: held from head allocation to tail traversal).
+	busy []bool
+	// rr is the round-robin pointer for switch allocation fairness.
+	rr int
+}
+
+// Router is one input-buffered virtual-channel router in one subnet,
+// implementing a two-stage speculative pipeline with look-ahead routing.
+type Router struct {
+	sub  *Subnet
+	node int
+
+	in  []inputPort
+	out []outputPort
+
+	// Power gating state.
+	state  PowerState
+	wakeAt int64
+	// pinnedUntil is the latest cycle at which an in-flight flit is
+	// scheduled to arrive; the router may not sleep before then, which
+	// guarantees no flit is ever sent to (or stranded in) a gated router.
+	pinnedUntil int64
+	// emptySince is the first cycle of the current continuous
+	// all-buffers-empty streak (meaningless while occupied).
+	emptySince int64
+	csc        *stats.CSC
+
+	// Congestion-metric instrumentation (cumulative; readers take deltas).
+	blockedFlitCycles int64 // eligible-but-ungranted flit cycles
+	grantedFlits      int64 // flits that won switch allocation
+
+	// Per-cycle scratch: which input ports already granted a flit this
+	// cycle (one buffer read port per input port).
+	grantedInput []bool
+	vaRR         int
+}
+
+// init wires the router into its subnet at the given node.
+func (r *Router) init(sub *Subnet, node int) {
+	cfg := sub.net.cfg
+	topo := sub.net.topo
+	radix := topo.Radix()
+	r.sub = sub
+	r.node = node
+	r.csc = stats.NewCSC(int64(cfg.TBreakeven))
+	r.in = make([]inputPort, radix)
+	r.out = make([]outputPort, radix)
+	r.grantedInput = make([]bool, radix)
+	local := radix - 1
+	for p := 0; p < radix; p++ {
+		ip := &r.in[p]
+		ip.vcs = make([]vcState, cfg.VCs)
+		for v := range ip.vcs {
+			ip.vcs[v].q = make([]flit, cfg.VCDepth)
+			ip.vcs[v].outVC = -1
+		}
+		op := &r.out[p]
+		op.downstream = -1
+		if p != local {
+			if peer, peerPort, ok := topo.Link(node, p); ok {
+				op.downstream = peer
+				op.downInPort = peerPort
+				op.credits = make([]int, cfg.VCs)
+				for v := range op.credits {
+					op.credits[v] = cfg.VCDepth
+				}
+				op.busy = make([]bool, cfg.VCs)
+			}
+		} else {
+			op.busy = make([]bool, cfg.VCs)
+		}
+	}
+	r.state = PowerActive
+	r.emptySince = 0
+}
+
+// State returns the router's power state.
+func (r *Router) State() PowerState { return r.state }
+
+// CSC returns the router's compensated-sleep-cycle tracker.
+func (r *Router) CSC() *stats.CSC { return r.csc }
+
+// PortOccupancy returns the buffered flit count of input port p; the
+// congestion metrics sample it every cycle.
+func (r *Router) PortOccupancy(p int) int { return r.in[p].occupancy }
+
+// MaxPortOccupancy returns the maximum buffered flit count over all input
+// ports — the paper's BFM local congestion metric.
+func (r *Router) MaxPortOccupancy() int {
+	m := 0
+	for p := range r.in {
+		if r.in[p].occupancy > m {
+			m = r.in[p].occupancy
+		}
+	}
+	return m
+}
+
+// TotalOccupancy returns the total buffered flits across all ports.
+func (r *Router) TotalOccupancy() int {
+	t := 0
+	for p := range r.in {
+		t += r.in[p].occupancy
+	}
+	return t
+}
+
+// BlockingCounters returns the cumulative eligible-but-blocked flit cycles
+// and granted flits, for the Delay congestion metric.
+func (r *Router) BlockingCounters() (blockedCycles, granted int64) {
+	return r.blockedFlitCycles, r.grantedFlits
+}
+
+// wake initiates (or accelerates) a wake-up completing after delay cycles.
+// It is a no-op on an active router; on a waking router it keeps the
+// earlier completion time.
+func (r *Router) wake(now int64, delay int) {
+	switch r.state {
+	case PowerActive:
+		return
+	case PowerAsleep:
+		r.csc.Wake(now)
+		r.sub.events.GatingTransitions++
+		r.state = PowerWaking
+		r.wakeAt = now + int64(delay)
+	case PowerWaking:
+		if t := now + int64(delay); t < r.wakeAt {
+			r.wakeAt = t
+		}
+	}
+}
+
+// sleep gates the router at cycle now. The caller has verified the sleep
+// preconditions (empty buffers, no pinned arrivals, policy approval).
+func (r *Router) sleep(now int64) {
+	r.state = PowerAsleep
+	r.csc.Sleep(now)
+}
+
+// deliver writes an arriving flit into input port p, VC v. It runs in the
+// arrival phase, models the buffer-write pipeline stage, and performs the
+// look-ahead wake-up: a head flit's pre-computed route identifies the
+// downstream router, and if that router is gated a wake-up signal is sent
+// immediately, hiding WakeupHidden cycles of the wake-up delay.
+func (r *Router) deliver(now int64, p, v int, f flit) {
+	cfg := r.sub.net.cfg
+	f.eligibleAt = now + int64(cfg.RouterDelay)
+	r.in[p].vcs[v].push(f)
+	r.in[p].occupancy++
+	r.sub.events.BufferWrites++
+
+	if f.head() && int(f.nextPort) != r.sub.net.localPort {
+		down := r.out[f.nextPort].downstream
+		if down >= 0 {
+			dr := &r.sub.routers[down]
+			if dr.state != PowerActive {
+				dr.wake(now, cfg.TWakeup-cfg.WakeupHidden)
+				r.sub.events.WakeupSignals++
+			}
+		}
+	}
+}
+
+// vcAllocate performs virtual-channel allocation: every input VC whose
+// front packet has a route but no downstream VC tries to acquire a free
+// downstream VC from the class's eligible set. It also latches the
+// look-ahead route of packets newly at the front of a FIFO.
+func (r *Router) vcAllocate() {
+	nports := len(r.in)
+	for pi := 0; pi < nports; pi++ {
+		p := (pi + r.vaRR) % nports
+		ip := &r.in[p]
+		for v := range ip.vcs {
+			vc := &ip.vcs[v]
+			if vc.empty() {
+				continue
+			}
+			f := vc.front()
+			if f.head() && !vc.routeSet {
+				vc.curPkt = f.pkt
+				vc.outPort = int(f.nextPort)
+				vc.outVC = -1
+				vc.routeSet = true
+				vc.crossed = f.crossed
+			}
+			if !vc.routeSet || vc.outVC >= 0 {
+				continue
+			}
+			r.allocateOutVC(vc)
+		}
+	}
+	r.vaRR++
+}
+
+// allocateOutVC tries to grant vc's front packet a downstream virtual
+// channel on its output port.
+func (r *Router) allocateOutVC(vc *vcState) {
+	op := &r.out[vc.outPort]
+	mask := r.sub.net.cfg.vcMask(vc.curPkt.Class)
+	if vc.outPort == r.sub.net.localPort {
+		// Ejection: the sink is not credit-limited, but the downstream-VC
+		// ownership still serializes packets per ejection channel so that
+		// wormhole ordering holds at the NI.
+		for v := range op.busy {
+			if mask&(1<<uint(v)) == 0 || op.busy[v] {
+				continue
+			}
+			op.busy[v] = true
+			vc.outVC = int8(v)
+			return
+		}
+		return
+	}
+	if op.downstream < 0 {
+		panic("noc: route points off the mesh edge (routing bug)")
+	}
+	cfg := r.sub.net.cfg
+	if cfg.Torus {
+		// Dateline VC classes: the downstream buffer belongs to the ring
+		// of this link; a packet that has crossed (or is about to cross,
+		// if this link is the dateline) uses the upper class.
+		crossed := vc.crossed&dimBit(vc.outPort) != 0 || r.sub.net.topo.WrapsPort(r.node, vc.outPort)
+		mask &= cfg.datelineMask(crossed)
+	}
+	for v := range op.busy {
+		if mask&(1<<uint(v)) == 0 || op.busy[v] {
+			continue
+		}
+		op.busy[v] = true
+		vc.outVC = int8(v)
+		return
+	}
+}
+
+// dimBit returns the dateline bit of a mesh direction's ring (X rings
+// use bit 0, Y rings bit 1). Only torus configurations consult it, and
+// the torus is always the radix-5 mesh port layout.
+func dimBit(p int) uint8 {
+	if p == int(topology.East) || p == int(topology.West) {
+		return 1 << 0
+	}
+	return 1 << 1
+}
+
+// switchAllocate arbitrates the crossbar and traverses winning flits: per
+// output port, one flit is granted per cycle (round-robin over input VCs),
+// subject to one read per input port, downstream credit availability, and
+// the downstream router being awake. It returns the number of flits moved.
+func (r *Router) switchAllocate(now int64) int {
+	moved := 0
+	for p := range r.grantedInput {
+		r.grantedInput[p] = false
+	}
+	nports := len(r.in)
+	local := r.sub.net.localPort
+	vcs := r.sub.net.cfg.VCs
+	slots := nports * vcs
+
+	for o := 0; o < nports; o++ {
+		op := &r.out[o]
+		if o != local && op.downstream < 0 {
+			continue
+		}
+		granted := false
+		// Round-robin scan over all (input port, VC) slots.
+		for k := 0; k < slots; k++ {
+			idx := (op.rr + k) % slots
+			p := idx / vcs
+			v := idx % vcs
+			vc := &r.in[p].vcs[v]
+			if vc.empty() || !vc.routeSet || vc.outPort != o || vc.outVC < 0 {
+				continue
+			}
+			f := vc.front()
+			if f.eligibleAt > now {
+				continue
+			}
+			if granted || r.grantedInput[p] {
+				// Eligible but lost arbitration this cycle: counts toward
+				// the Delay congestion metric's blocking time.
+				r.blockedFlitCycles++
+				continue
+			}
+			if o != local {
+				if op.credits[vc.outVC] <= 0 {
+					r.blockedFlitCycles++
+					continue
+				}
+				if dr := &r.sub.routers[op.downstream]; dr.state != PowerActive {
+					// The downstream router went to sleep after this
+					// flit's delivery-time wakeup (or was never signalled
+					// because it was awake then). A blocked flit keeps the
+					// wakeup line asserted — without this, a flit parked
+					// behind a router that sleeps later is stranded
+					// forever in a quiet network.
+					if dr.state == PowerAsleep {
+						cfg := r.sub.net.cfg
+						dr.wake(now, cfg.TWakeup-cfg.WakeupHidden)
+						r.sub.events.WakeupSignals++
+					}
+					r.blockedFlitCycles++
+					continue
+				}
+			}
+			r.traverse(now, p, v, vc, o, op)
+			op.rr = (idx + 1) % slots
+			granted = true
+			moved++
+		}
+	}
+	return moved
+}
+
+// traverse moves the front flit of input (p, v) through the crossbar onto
+// output port o, updating credits, wormhole state, look-ahead routing and
+// the staged arrival/credit wheels.
+func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPort) {
+	cfg := r.sub.net.cfg
+	f := vc.pop()
+	r.in[p].occupancy--
+	r.grantedInput[p] = true
+	r.grantedFlits++
+	ev := r.sub.events
+	ev.BufferReads++
+	ev.XbarTraversals++
+	ev.ArbiterOps++
+
+	outVC := int(vc.outVC)
+	if f.tail() {
+		// Release the downstream VC and reset per-packet state for the
+		// next packet in this FIFO.
+		op.busy[outVC] = false
+		vc.routeSet = false
+		vc.outVC = -1
+		vc.curPkt = nil
+	}
+
+	// Return a credit to whoever feeds this input port (upstream router or
+	// the local NI).
+	if p == r.sub.net.localPort {
+		r.sub.stageNICredit(now+int64(cfg.CreditDelay), r.node, v)
+	} else {
+		up := r.sub.feeder[r.node][p]
+		r.sub.stageCredit(now+int64(cfg.CreditDelay), up.node, up.port, v)
+	}
+
+	if o == r.sub.net.localPort {
+		ev.NIFlits++
+		r.sub.stageEject(now+int64(cfg.LinkDelay), r.node, f)
+		return
+	}
+
+	op.credits[outVC]--
+	ev.LinkTraversals++
+	if f.head() {
+		// Look-ahead routing: compute the output port the flit must
+		// request at the downstream router and carry it in the head flit.
+		f.nextPort = uint8(r.sub.net.topo.LookAheadPort(op.downstream, f.pkt.Dst))
+		if cfg.Torus && r.sub.net.topo.WrapsPort(r.node, o) {
+			f.crossed |= dimBit(o)
+		}
+	}
+	arriveAt := now + int64(cfg.LinkDelay)
+	dr := &r.sub.routers[op.downstream]
+	if arriveAt > dr.pinnedUntil {
+		dr.pinnedUntil = arriveAt
+	}
+	r.sub.stageArrival(arriveAt, op.downstream, op.downInPort, outVC, f)
+}
+
+// powerUpdate runs at the end of each cycle: it advances wake-ups, resets
+// or extends the idle streak, and consults the gating policy for sleep and
+// proactive-wake decisions. It also accrues state-residency counts for the
+// power model.
+func (r *Router) powerUpdate(now int64) {
+	cfg := r.sub.net.cfg
+	pol := r.sub.net.gating
+	ev := r.sub.events
+
+	switch r.state {
+	case PowerWaking:
+		ev.ActiveRouterCycles++ // rail charging draws power
+		if now >= r.wakeAt {
+			r.state = PowerActive
+			r.emptySince = now + 1
+		}
+		return
+	case PowerAsleep:
+		ev.SleepRouterCycles++
+		if pol != nil && pol.WantWake(now, r.sub.index, r.node) {
+			r.wake(now, cfg.TWakeup)
+		}
+		return
+	}
+
+	ev.ActiveRouterCycles++
+	if r.TotalOccupancy() > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
+		r.emptySince = now + 1
+		return
+	}
+	if pol == nil {
+		return
+	}
+	idle := now - r.emptySince + 1
+	if idle >= int64(cfg.TIdleDetect) && pol.AllowSleep(now, r.sub.index, r.node, idle) {
+		r.sleep(now)
+	}
+}

@@ -1,0 +1,188 @@
+package noc
+
+// arrival is a flit staged on a link, due to be written into a router's
+// input buffer at a specific cycle.
+type arrival struct {
+	node int
+	port int
+	vc   int
+	f    flit
+}
+
+// credit is a staged credit return to a router's output port.
+type credit struct {
+	node int
+	port int
+	vc   int
+}
+
+// feederLink identifies the upstream router output that feeds one of a
+// router's input ports (credit returns flow back along it).
+type feederLink struct {
+	node int
+	port int
+}
+
+// niCredit is a staged credit return to a node's NI for one of the local
+// input port's VCs.
+type niCredit struct {
+	node int
+	vc   int
+}
+
+// ejection is a flit staged for delivery into the destination NI.
+type ejection struct {
+	node int
+	f    flit
+}
+
+// Subnet is one physical subnetwork: a full mesh of routers plus the
+// staged-event wheels that model link, credit, and ejection latencies.
+type Subnet struct {
+	net    *Network
+	index  int
+	events *PowerEvents
+
+	routers []Router
+
+	// feeder[node][inPort] is the upstream (router, output port) feeding
+	// that input port; input ports with no feeder (local, edges) hold
+	// node == -1.
+	feeder [][]feederLink
+
+	// Staged-event wheels, indexed by cycle % wheelSize. All delays are
+	// small constants, so a fixed ring suffices.
+	wheelSize int
+	arrivals  [][]arrival
+	credits   [][]credit
+	niCredits [][]niCredit
+	ejections [][]ejection
+}
+
+func newSubnet(net *Network, index int) *Subnet {
+	s := &Subnet{net: net, index: index, events: &PowerEvents{}}
+	cfg := net.cfg
+	s.wheelSize = cfg.RouterDelay + cfg.LinkDelay + cfg.CreditDelay + 4
+	s.arrivals = make([][]arrival, s.wheelSize)
+	s.credits = make([][]credit, s.wheelSize)
+	s.niCredits = make([][]niCredit, s.wheelSize)
+	s.ejections = make([][]ejection, s.wheelSize)
+	s.routers = make([]Router, cfg.Nodes())
+	for n := range s.routers {
+		s.routers[n].init(s, n)
+	}
+	// Build the reverse link table for credit returns.
+	radix := net.topo.Radix()
+	s.feeder = make([][]feederLink, cfg.Nodes())
+	for n := range s.feeder {
+		s.feeder[n] = make([]feederLink, radix)
+		for p := range s.feeder[n] {
+			s.feeder[n][p] = feederLink{node: -1}
+		}
+	}
+	for n := 0; n < cfg.Nodes(); n++ {
+		for p := 0; p < radix-1; p++ {
+			if peer, peerPort, ok := net.topo.Link(n, p); ok {
+				s.feeder[peer][peerPort] = feederLink{node: n, port: p}
+			}
+		}
+	}
+	return s
+}
+
+// Router returns the router at node n (read-mostly access for congestion
+// metrics, policies, and tests).
+func (s *Subnet) Router(n int) *Router { return &s.routers[n] }
+
+// Events returns the subnet's switching-activity counters.
+func (s *Subnet) Events() *PowerEvents { return s.events }
+
+func (s *Subnet) slot(cycle int64) int { return int(cycle % int64(s.wheelSize)) }
+
+func (s *Subnet) stageArrival(at int64, node, port, vc int, f flit) {
+	i := s.slot(at)
+	s.arrivals[i] = append(s.arrivals[i], arrival{node: node, port: port, vc: vc, f: f})
+}
+
+func (s *Subnet) stageCredit(at int64, node, port, vc int) {
+	i := s.slot(at)
+	s.credits[i] = append(s.credits[i], credit{node: node, port: port, vc: vc})
+}
+
+func (s *Subnet) stageNICredit(at int64, node, vc int) {
+	i := s.slot(at)
+	s.niCredits[i] = append(s.niCredits[i], niCredit{node: node, vc: vc})
+}
+
+func (s *Subnet) stageEject(at int64, node int, f flit) {
+	i := s.slot(at)
+	s.ejections[i] = append(s.ejections[i], ejection{node: node, f: f})
+}
+
+// deliverPhase drains every event staged for cycle now: credits first (so
+// freed slots are usable this cycle), then flit arrivals, then ejections
+// into the NIs.
+func (s *Subnet) deliverPhase(now int64) {
+	i := s.slot(now)
+
+	for _, c := range s.credits[i] {
+		s.routers[c.node].out[c.port].credits[c.vc]++
+	}
+	s.credits[i] = s.credits[i][:0]
+
+	for _, c := range s.niCredits[i] {
+		s.net.nis[c.node].creditReturn(s.index, c.vc)
+	}
+	s.niCredits[i] = s.niCredits[i][:0]
+
+	for _, a := range s.arrivals[i] {
+		s.routers[a.node].deliver(now, a.port, a.vc, a.f)
+	}
+	s.arrivals[i] = s.arrivals[i][:0]
+
+	for _, e := range s.ejections[i] {
+		s.net.eject(now, e.node, e.f)
+	}
+	s.ejections[i] = s.ejections[i][:0]
+}
+
+// routerPhase runs allocation and traversal on every active router.
+func (s *Subnet) routerPhase(now int64) {
+	for n := range s.routers {
+		r := &s.routers[n]
+		if r.state != PowerActive {
+			continue
+		}
+		if r.TotalOccupancy() == 0 {
+			continue
+		}
+		r.vcAllocate()
+		r.switchAllocate(now)
+	}
+}
+
+// powerPhase advances power states on every router.
+func (s *Subnet) powerPhase(now int64) {
+	for n := range s.routers {
+		s.routers[n].powerUpdate(now)
+	}
+}
+
+// flushCSC closes any open sleep periods at end of simulation.
+func (s *Subnet) flushCSC(now int64) {
+	for n := range s.routers {
+		s.routers[n].csc.Flush(now)
+	}
+}
+
+// ActiveRouters returns how many routers are currently in the active or
+// waking state.
+func (s *Subnet) ActiveRouters() int {
+	c := 0
+	for n := range s.routers {
+		if s.routers[n].state != PowerAsleep {
+			c++
+		}
+	}
+	return c
+}

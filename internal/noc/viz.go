@@ -1,0 +1,60 @@
+package noc
+
+import "strings"
+
+// PowerStateGrid renders subnet s's router power states as an ASCII grid
+// (one character per router: '#' active, '~' waking, '.' asleep), row by
+// row. It is a debugging and demonstration aid — the examples print it to
+// show subnets going dark.
+func (n *Network) PowerStateGrid(s int) string {
+	var b strings.Builder
+	cols := n.topo.Cols()
+	for node := 0; node < n.topo.Nodes(); node++ {
+		switch n.subnets[s].routers[node].state {
+		case PowerActive:
+			b.WriteByte('#')
+		case PowerWaking:
+			b.WriteByte('~')
+		case PowerAsleep:
+			b.WriteByte('.')
+		}
+		if (node+1)%cols == 0 && node != n.topo.Nodes()-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// PowerStateGrids renders every subnet side by side, separated by two
+// spaces, with a one-line header of subnet indices.
+func (n *Network) PowerStateGrids() string {
+	grids := make([][]string, len(n.subnets))
+	for s := range n.subnets {
+		grids[s] = strings.Split(n.PowerStateGrid(s), "\n")
+	}
+	var b strings.Builder
+	for s := range grids {
+		if s > 0 {
+			b.WriteString("  ")
+		}
+		label := "subnet " + string(byte('0'+s))
+		if len(label) > n.topo.Cols() {
+			label = "s" + string(byte('0'+s))
+		}
+		b.WriteString(label)
+		for i := len(label); i < n.topo.Cols(); i++ {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	for row := 0; row < n.topo.Rows(); row++ {
+		for s := range grids {
+			if s > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(grids[s][row])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

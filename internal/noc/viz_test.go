@@ -1,0 +1,41 @@
+package noc_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
+)
+
+func TestPowerStateGrid(t *testing.T) {
+	cfg := testConfig(4, 4, 2, 256)
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.PowerStateGrid(0)
+	lines := strings.Split(g, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("grid has %d rows, want 4:\n%s", len(lines), g)
+	}
+	for _, l := range lines {
+		if l != "####" {
+			t.Fatalf("fresh network should be all active:\n%s", g)
+		}
+	}
+	// Gate everything, re-render.
+	net.SetGatingPolicy(core.BaselineGating{})
+	net.Run(50)
+	g = net.PowerStateGrid(0)
+	if strings.ContainsAny(g, "#~") {
+		t.Fatalf("idle gated network should be all asleep:\n%s", g)
+	}
+	combined := net.PowerStateGrids()
+	if !strings.Contains(combined, "s0") || !strings.Contains(combined, "s1") {
+		t.Fatalf("combined header missing:\n%s", combined)
+	}
+	if lines := strings.Split(strings.TrimRight(combined, "\n"), "\n"); len(lines) != 5 {
+		t.Fatalf("combined grid has %d lines, want 5:\n%s", len(lines), combined)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyMoments(t *testing.T) {
+	l := NewLatency(0)
+	for i := int64(1); i <= 100; i++ {
+		l.Observe(i)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if m := l.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", m)
+	}
+	if l.Min() != 1 || l.Max() != 100 {
+		t.Errorf("min/max = %d/%d", l.Min(), l.Max())
+	}
+	// Population stddev of 1..100 is sqrt((100^2-1)/12) ≈ 28.866.
+	if sd := l.StdDev(); math.Abs(sd-28.866) > 0.01 {
+		t.Errorf("stddev = %v, want ~28.866", sd)
+	}
+	if p := l.Percentile(50); p < 45 || p > 55 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := l.Percentile(100); p != 100 {
+		t.Errorf("p100 = %d", p)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	l := NewLatency(0)
+	if l.Mean() != 0 || l.Min() != 0 || l.Percentile(99) != 0 || l.StdDev() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+// TestLatencyDecimation: the reservoir must survive observation counts far
+// beyond its capacity and keep percentiles roughly correct.
+func TestLatencyDecimation(t *testing.T) {
+	l := NewLatency(1024)
+	const n = 1 << 18
+	for i := 0; i < n; i++ {
+		l.Observe(int64(i % 1000))
+	}
+	if p := l.Percentile(50); p < 400 || p > 600 {
+		t.Errorf("p50 after decimation = %d, want ~500", p)
+	}
+	if p := l.Percentile(99); p < 950 {
+		t.Errorf("p99 after decimation = %d, want ~990", p)
+	}
+}
+
+// Property: Mean always lies within [Min, Max].
+func TestLatencyMeanBounded(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		l := NewLatency(64)
+		for _, v := range vals {
+			l.Observe(int64(v))
+		}
+		return l.Mean() >= float64(l.Min()) && l.Mean() <= float64(l.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	s := NewSeries(50)
+	for c := int64(0); c < 200; c++ {
+		s.Add(c, 1)
+	}
+	pts := s.Finish(199)
+	if len(pts) != 4 {
+		t.Fatalf("got %d windows, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value != 50 {
+			t.Errorf("window %d value = %v, want 50", i, p.Value)
+		}
+		if p.Cycle != int64(50*(i+1)) {
+			t.Errorf("window %d cycle = %d", i, p.Cycle)
+		}
+	}
+}
+
+func TestSeriesSparse(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(5, 3)
+	s.Add(35, 7) // skips two empty windows
+	pts := s.Finish(35)
+	if len(pts) != 4 {
+		t.Fatalf("got %d windows", len(pts))
+	}
+	want := []float64{3, 0, 0, 7}
+	for i, p := range pts {
+		if p.Value != want[i] {
+			t.Errorf("window %d = %v, want %v", i, p.Value, want[i])
+		}
+	}
+}
+
+func TestSeriesPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSeries(0) should panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestCSCBasics(t *testing.T) {
+	c := NewCSC(12)
+	c.Sleep(100)
+	c.Wake(200) // 100-cycle sleep: 88 compensated
+	if c.Compensated() != 88 || c.RawSleep() != 100 || c.Transitions() != 1 {
+		t.Fatalf("comp=%d raw=%d trans=%d", c.Compensated(), c.RawSleep(), c.Transitions())
+	}
+	// A sleep shorter than break-even compensates nothing but still
+	// counts as a transition (it *cost* energy).
+	c.Sleep(300)
+	c.Wake(305)
+	if c.Compensated() != 88 || c.Transitions() != 2 {
+		t.Fatalf("short sleep mishandled: comp=%d trans=%d", c.Compensated(), c.Transitions())
+	}
+}
+
+func TestCSCIdempotentCalls(t *testing.T) {
+	c := NewCSC(12)
+	c.Wake(10) // not asleep: no-op
+	if c.Transitions() != 0 {
+		t.Error("Wake while awake counted a transition")
+	}
+	c.Sleep(20)
+	c.Sleep(30) // already asleep: no-op, keeps original start
+	c.Wake(120)
+	if c.Compensated() != 88 {
+		t.Errorf("comp = %d, want 88 (sleep start must not move)", c.Compensated())
+	}
+}
+
+func TestCSCFlush(t *testing.T) {
+	c := NewCSC(10)
+	c.Sleep(0)
+	c.Flush(100)
+	if c.Compensated() != 90 {
+		t.Errorf("comp after flush = %d, want 90", c.Compensated())
+	}
+	if !c.Asleep() {
+		t.Error("flush must keep the component conceptually asleep")
+	}
+	// Flushing again immediately adds nothing.
+	c.Flush(100)
+	if c.Compensated() != 90 {
+		t.Errorf("double flush changed compensation: %d", c.Compensated())
+	}
+	// The continued sleep keeps accruing, with break-even charged only
+	// once for the whole period: 150 total − 10 = 140.
+	c.Wake(150)
+	if c.Compensated() != 140 {
+		t.Errorf("comp = %d, want 140", c.Compensated())
+	}
+	if c.Transitions() != 1 {
+		t.Errorf("transitions = %d, want 1 (flush is not a transition)", c.Transitions())
+	}
+}

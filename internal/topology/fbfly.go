@@ -1,0 +1,185 @@
+package topology
+
+import "fmt"
+
+// FBfly is a two-dimensional flattened butterfly (Kim, Balfour, Dally,
+// MICRO'07): routers sit on a rows×cols grid, and every router has a
+// direct link to every other router in its row and in its column. With
+// minimal dimension-ordered routing any packet needs at most two hops
+// (one row hop, one column hop), at the cost of high radix:
+// (cols−1)+(rows−1)+1 ports.
+//
+// The paper (§2.2) names the flattened butterfly as the high-radix
+// alternative for scaling bandwidth and conjectures (§8) that multiple
+// physical networks would benefit it too; this implementation lets the
+// Catnap policies be evaluated on it.
+//
+// Port layout for a router at (x, y):
+//
+//	ports [0, cols−2]            row links, to columns ≠ x in ascending order
+//	ports [cols−1, cols+rows−3]  column links, to rows ≠ y in ascending order
+//	port  cols+rows−2            the local (NI) port
+type FBfly struct {
+	rows, cols   int
+	tilesPerNode int
+	regionRows   int
+	regionCols   int
+}
+
+// NewFBfly returns a rows×cols flattened butterfly with the given
+// concentration and congestion-region size. It panics on invalid
+// dimensions (static experiment configuration).
+func NewFBfly(rows, cols, tilesPerNode, regionDim int) *FBfly {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("topology: flattened butterfly needs >=2x2 routers, got %dx%d", rows, cols))
+	}
+	if tilesPerNode <= 0 {
+		panic(fmt.Sprintf("topology: invalid concentration %d", tilesPerNode))
+	}
+	if regionDim <= 0 || rows%regionDim != 0 || cols%regionDim != 0 {
+		panic(fmt.Sprintf("topology: region dim %d does not tile %dx%d", regionDim, rows, cols))
+	}
+	return &FBfly{rows: rows, cols: cols, tilesPerNode: tilesPerNode, regionRows: regionDim, regionCols: regionDim}
+}
+
+// Name implements Topology.
+func (f *FBfly) Name() string { return "fbfly" }
+
+// Nodes implements Topology.
+func (f *FBfly) Nodes() int { return f.rows * f.cols }
+
+// Rows implements Topology.
+func (f *FBfly) Rows() int { return f.rows }
+
+// Cols implements Topology.
+func (f *FBfly) Cols() int { return f.cols }
+
+// XY implements Topology.
+func (f *FBfly) XY(id int) (x, y int) { return id % f.cols, id / f.cols }
+
+// IDAt implements Topology.
+func (f *FBfly) IDAt(x, y int) int { return y*f.cols + x }
+
+// TilesPerNode implements Topology.
+func (f *FBfly) TilesPerNode() int { return f.tilesPerNode }
+
+// Tiles implements Topology.
+func (f *FBfly) Tiles() int { return f.Nodes() * f.tilesPerNode }
+
+// NodeOfTile implements Topology.
+func (f *FBfly) NodeOfTile(tile int) int { return tile / f.tilesPerNode }
+
+// Radix implements Topology: all row peers, all column peers, local.
+func (f *FBfly) Radix() int { return (f.cols - 1) + (f.rows - 1) + 1 }
+
+// LocalPort returns the local port index.
+func (f *FBfly) LocalPort() int { return f.Radix() - 1 }
+
+// rowPortTo returns the output port at a router in column x that reaches
+// column tx (tx != x).
+func (f *FBfly) rowPortTo(x, tx int) int {
+	if tx < x {
+		return tx
+	}
+	return tx - 1
+}
+
+// colPortTo returns the output port at a router in row y that reaches
+// row ty (ty != y).
+func (f *FBfly) colPortTo(y, ty int) int {
+	base := f.cols - 1
+	if ty < y {
+		return base + ty
+	}
+	return base + ty - 1
+}
+
+// Link implements Topology.
+func (f *FBfly) Link(node, port int) (peer, peerPort int, ok bool) {
+	x, y := f.XY(node)
+	switch {
+	case port < f.cols-1: // row link
+		tx := port
+		if tx >= x {
+			tx++
+		}
+		peer = f.IDAt(tx, y)
+		peerPort = f.rowPortTo(tx, x)
+		return peer, peerPort, true
+	case port < f.Radix()-1: // column link
+		ty := port - (f.cols - 1)
+		if ty >= y {
+			ty++
+		}
+		peer = f.IDAt(x, ty)
+		peerPort = f.colPortTo(ty, y)
+		return peer, peerPort, true
+	default: // local port
+		return 0, 0, false
+	}
+}
+
+// RoutePort implements Topology: dimension-ordered minimal routing, row
+// (X) first, then column (Y). Row links only ever depend on column links
+// ahead of them, so the channel dependency graph is acyclic and no
+// dateline classes are needed.
+func (f *FBfly) RoutePort(at, dst int) int {
+	ax, ay := f.XY(at)
+	dx, dy := f.XY(dst)
+	switch {
+	case dx != ax:
+		return f.rowPortTo(ax, dx)
+	case dy != ay:
+		return f.colPortTo(ay, dy)
+	default:
+		return f.LocalPort()
+	}
+}
+
+// LookAheadPort implements Topology.
+func (f *FBfly) LookAheadPort(next, dst int) int { return f.RoutePort(next, dst) }
+
+// Hops implements Topology: at most one row and one column hop.
+func (f *FBfly) Hops(a, b int) int {
+	ax, ay := f.XY(a)
+	bx, by := f.XY(b)
+	h := 0
+	if ax != bx {
+		h++
+	}
+	if ay != by {
+		h++
+	}
+	return h
+}
+
+// WrapsPort implements Topology: no datelines in a flattened butterfly.
+func (f *FBfly) WrapsPort(node, port int) bool { return false }
+
+// Region implements Topology.
+func (f *FBfly) Region(id int) int {
+	x, y := f.XY(id)
+	regionsPerRow := f.cols / f.regionCols
+	return (y/f.regionRows)*regionsPerRow + x/f.regionCols
+}
+
+// Regions implements Topology.
+func (f *FBfly) Regions() int {
+	return (f.rows / f.regionRows) * (f.cols / f.regionCols)
+}
+
+// RegionNodes implements Topology.
+func (f *FBfly) RegionNodes(r int) []int {
+	regionsPerRow := f.cols / f.regionCols
+	ry := r / regionsPerRow
+	rx := r % regionsPerRow
+	nodes := make([]int, 0, f.regionRows*f.regionCols)
+	for y := ry * f.regionRows; y < (ry+1)*f.regionRows; y++ {
+		for x := rx * f.regionCols; x < (rx+1)*f.regionCols; x++ {
+			nodes = append(nodes, f.IDAt(x, y))
+		}
+	}
+	return nodes
+}
+
+var _ Topology = (*FBfly)(nil)

@@ -1,0 +1,75 @@
+package topology
+
+import "testing"
+
+// TestLinkSymmetryAllTopologies: for every topology, following Link and
+// then the peer's reverse port returns to the origin — the property the
+// NoC's credit-return feeder tables are built on. The local port never
+// has a link.
+func TestLinkSymmetryAllTopologies(t *testing.T) {
+	topos := []Topology{
+		New(8, 8, 4, 4),
+		New(4, 2, 4, 2),
+		NewTorus(8, 8, 4, 4),
+		NewTorus(4, 4, 4, 2),
+		NewFBfly(8, 8, 4, 4),
+		NewFBfly(2, 4, 4, 2),
+	}
+	for _, topo := range topos {
+		for node := 0; node < topo.Nodes(); node++ {
+			links := 0
+			for p := 0; p < topo.Radix(); p++ {
+				peer, peerPort, ok := topo.Link(node, p)
+				if p == topo.Radix()-1 {
+					if ok {
+						t.Fatalf("%s: local port of node %d has a link", topo.Name(), node)
+					}
+					continue
+				}
+				if !ok {
+					continue // mesh edge
+				}
+				links++
+				back, backPort, ok2 := topo.Link(peer, peerPort)
+				if !ok2 || back != node || backPort != p {
+					t.Fatalf("%s: asymmetric link %d:%d -> %d:%d -> %d:%d",
+						topo.Name(), node, p, peer, peerPort, back, backPort)
+				}
+			}
+			if topo.Name() == "torus" && links != 4 {
+				t.Fatalf("torus node %d has %d links, want 4 (wraparound)", node, links)
+			}
+		}
+	}
+}
+
+// TestRouteStaysOnLinks: every topology's route function only ever emits
+// ports that have links (or the local port at the destination).
+func TestRouteStaysOnLinks(t *testing.T) {
+	topos := []Topology{New(8, 8, 4, 4), NewTorus(8, 8, 4, 4), NewFBfly(8, 8, 4, 4)}
+	for _, topo := range topos {
+		local := topo.Radix() - 1
+		for src := 0; src < topo.Nodes(); src++ {
+			for dst := 0; dst < topo.Nodes(); dst++ {
+				at := src
+				for steps := 0; steps < topo.Nodes(); steps++ {
+					p := topo.RoutePort(at, dst)
+					if at == dst {
+						if p != local {
+							t.Fatalf("%s: at destination %d but routed to port %d", topo.Name(), dst, p)
+						}
+						break
+					}
+					peer, _, ok := topo.Link(at, p)
+					if !ok {
+						t.Fatalf("%s: route %d->%d emits dead port %d at %d", topo.Name(), src, dst, p, at)
+					}
+					at = peer
+				}
+				if at != dst {
+					t.Fatalf("%s: route %d->%d did not converge", topo.Name(), src, dst)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace records per-packet delivery records from a simulation as
+// JSON Lines, and reads them back for offline analysis. A trace row
+// carries everything the evaluation's figures are computed from, so a
+// saved trace can regenerate latency distributions and subnet shares
+// without re-running the simulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/catnap-noc/catnap/internal/noc"
+)
+
+// Record is one delivered packet.
+type Record struct {
+	ID       uint64       `json:"id"`
+	Src      int          `json:"src"`
+	Dst      int          `json:"dst"`
+	Class    noc.MsgClass `json:"class"`
+	SizeBits int          `json:"bits"`
+	Flits    int          `json:"flits"`
+	Subnet   int          `json:"subnet"`
+	Create   int64        `json:"create"`
+	Inject   int64        `json:"inject"`
+	Arrive   int64        `json:"arrive"`
+}
+
+// Latency returns the end-to-end latency in cycles.
+func (r *Record) Latency() int64 { return r.Arrive - r.Create }
+
+// NetworkLatency returns the in-network latency in cycles.
+func (r *Record) NetworkLatency() int64 { return r.Arrive - r.Inject }
+
+// Writer streams records to an io.Writer as JSON Lines. It buffers
+// internally; call Flush (or Close if the underlying writer is a Closer)
+// when done.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int64
+	c   io.Closer
+}
+
+// NewWriter wraps w. If w is also an io.Closer, Close will close it.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	tw := &Writer{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	return tw
+}
+
+// Sink returns a delivery callback for Network.AddSink that records every
+// delivered packet.
+func (w *Writer) Sink() func(now int64, p *noc.Packet) {
+	return func(now int64, p *noc.Packet) {
+		w.Write(p)
+	}
+}
+
+// Write appends one packet's record.
+func (w *Writer) Write(p *noc.Packet) {
+	rec := Record{
+		ID: p.ID, Src: p.Src, Dst: p.Dst,
+		Class: p.Class, SizeBits: p.SizeBits, Flits: p.NumFlits, Subnet: p.Subnet,
+		Create: p.CreateTime, Inject: p.InjectTime, Arrive: p.ArriveTime,
+	}
+	// bufio absorbs errors until Flush; Encode on a bufio.Writer cannot
+	// fail for marshalable fixed-shape structs.
+	_ = w.enc.Encode(&rec)
+	w.n++
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush drains the internal buffer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Close flushes and, when the underlying writer is a Closer, closes it.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.c != nil {
+		return w.c.Close()
+	}
+	return nil
+}
+
+// Read parses a JSONL trace, calling fn for every record; it stops early
+// if fn returns an error.
+func Read(r io.Reader, fn func(Record) error) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	for i := 0; ; i++ {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Summary aggregates a trace the way the figures do.
+type Summary struct {
+	Packets     int64
+	MeanLatency float64
+	MaxLatency  int64
+	// PerSubnet counts packets per subnet index (index -1, never
+	// injected, is dropped).
+	PerSubnet map[int]int64
+	// PerClass counts packets per message class.
+	PerClass map[noc.MsgClass]int64
+	// FirstCreate/LastArrive bound the traced interval.
+	FirstCreate int64
+	LastArrive  int64
+}
+
+// Summarize scans a trace into a Summary.
+func Summarize(r io.Reader) (Summary, error) {
+	s := Summary{PerSubnet: map[int]int64{}, PerClass: map[noc.MsgClass]int64{}, FirstCreate: 1<<63 - 1}
+	var latSum int64
+	err := Read(r, func(rec Record) error {
+		s.Packets++
+		lat := rec.Latency()
+		latSum += lat
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+		s.PerSubnet[rec.Subnet]++
+		s.PerClass[rec.Class]++
+		if rec.Create < s.FirstCreate {
+			s.FirstCreate = rec.Create
+		}
+		if rec.Arrive > s.LastArrive {
+			s.LastArrive = rec.Arrive
+		}
+		return nil
+	})
+	if err != nil {
+		return Summary{}, err
+	}
+	if s.Packets > 0 {
+		s.MeanLatency = float64(latSum) / float64(s.Packets)
+	} else {
+		s.FirstCreate = 0
+	}
+	return s, nil
+}

@@ -1,0 +1,102 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/trace"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	p := &noc.Packet{
+		ID: 7, Src: 1, Dst: 2, Class: noc.ClassResponse, SizeBits: 584,
+		NumFlits: 5, Subnet: 3, CreateTime: 10, InjectTime: 12, ArriveTime: 40,
+	}
+	w.Write(p)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Record
+	if err := trace.Read(&buf, func(r trace.Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records", len(got))
+	}
+	r := got[0]
+	if r.ID != 7 || r.Subnet != 3 || r.Latency() != 30 || r.NetworkLatency() != 28 {
+		t.Fatalf("record mismatch: %+v", r)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	err := trace.Read(strings.NewReader("{\"id\":1}\nnot json\n"), func(trace.Record) error { return nil })
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestLiveTraceAndSummary traces a real simulation and checks the
+// summary matches the network's own counters.
+func TestLiveTraceAndSummary(t *testing.T) {
+	cfg := noc.Config{
+		Rows: 4, Cols: 4, TilesPerNode: 4, RegionDim: 2,
+		Subnets: 2, LinkWidthBits: 256,
+		VCs: 4, VCDepth: 4, InjQueueFlits: 16,
+		RouterDelay: 2, LinkDelay: 1, CreditDelay: 1,
+	}
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	net.AddSink(w.Sink())
+
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Constant(0.1), 3)
+	for i := 0; i < 2000; i++ {
+		gen.Tick(net.Now())
+		net.Step()
+	}
+	net.Drain(100000)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, ejected := net.Counts()
+	if w.Count() != ejected {
+		t.Fatalf("traced %d, network delivered %d", w.Count(), ejected)
+	}
+	sum, err := trace.Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Packets != ejected {
+		t.Fatalf("summary packets %d != %d", sum.Packets, ejected)
+	}
+	if sum.MeanLatency <= 0 || sum.MaxLatency < int64(sum.MeanLatency) {
+		t.Fatalf("implausible latency summary: %+v", sum)
+	}
+	if sum.PerSubnet[0]+sum.PerSubnet[1] != ejected {
+		t.Fatalf("subnet counts don't add up: %v", sum.PerSubnet)
+	}
+	if sum.LastArrive <= sum.FirstCreate {
+		t.Fatalf("interval inverted: %d..%d", sum.FirstCreate, sum.LastArrive)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	sum, err := trace.Summarize(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Packets != 0 || sum.MeanLatency != 0 || sum.FirstCreate != 0 {
+		t.Fatalf("empty summary: %+v", sum)
+	}
+}

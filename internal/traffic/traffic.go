@@ -1,0 +1,200 @@
+// Package traffic provides the synthetic workloads of the paper's
+// evaluation: uniform random, transpose, and bit-complement destination
+// patterns driven by an open-loop Bernoulli injection process, plus the
+// piecewise (bursty) offered-load schedule of Figure 12.
+//
+// Synthetic packets are 512 bits (§4.1), so they serialize to one flit on
+// the 512-bit Single-NoC and four flits on a 128-bit subnet.
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/sim"
+)
+
+// SyntheticPacketBits is the synthetic packet size used throughout the
+// paper's synthetic experiments.
+const SyntheticPacketBits = 512
+
+// Pattern maps a source node to a destination node.
+type Pattern interface {
+	// Dest returns the destination for a packet from src in a mesh of
+	// rows×cols nodes; it must never return src for patterns where the
+	// paper's convention discards self-traffic (uniform random).
+	Dest(rng *sim.RNG, src, rows, cols int) int
+	// Name returns the pattern's conventional name.
+	Name() string
+}
+
+// UniformRandom sends each packet to a destination chosen uniformly from
+// all other nodes.
+type UniformRandom struct{}
+
+// Dest implements Pattern.
+func (UniformRandom) Dest(rng *sim.RNG, src, rows, cols int) int {
+	n := rows * cols
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (UniformRandom) Name() string { return "uniform-random" }
+
+// Transpose sends node (x, y) to node (y, x) — the adversarial pattern
+// that concentrates load along the diagonal under X-Y routing and
+// saturates the network at far lower injection rates than uniform random.
+// Diagonal nodes (x == y) fall back to uniform random so every node
+// offers load.
+type Transpose struct{}
+
+// Dest implements Pattern.
+func (Transpose) Dest(rng *sim.RNG, src, rows, cols int) int {
+	x, y := src%cols, src/cols
+	if x == y && x < rows && y < cols {
+		return UniformRandom{}.Dest(rng, src, rows, cols)
+	}
+	if y >= cols || x >= rows {
+		// Non-square mesh: wrap coordinates into range.
+		return UniformRandom{}.Dest(rng, src, rows, cols)
+	}
+	return x*cols + y
+}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// BitComplement sends node i to node (N−1−i): every packet crosses the
+// mesh centre, stressing the bisection.
+type BitComplement struct{}
+
+// Dest implements Pattern.
+func (BitComplement) Dest(rng *sim.RNG, src, rows, cols int) int {
+	return rows*cols - 1 - src
+}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bit-complement" }
+
+// PatternByName returns the pattern with the given conventional name.
+func PatternByName(name string) (Pattern, error) {
+	switch name {
+	case "uniform-random", "ur", "uniform":
+		return UniformRandom{}, nil
+	case "transpose":
+		return Transpose{}, nil
+	case "bit-complement", "bitcomp":
+		return BitComplement{}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// Schedule gives the offered load (packets/node/cycle) at a cycle;
+// schedules express the constant loads of the sweep experiments and the
+// bursts of Figure 12.
+type Schedule func(cycle int64) float64
+
+// Constant returns a schedule offering a fixed load.
+func Constant(load float64) Schedule {
+	return func(int64) float64 { return load }
+}
+
+// Phase is one segment of a piecewise-constant schedule.
+type Phase struct {
+	// Until is the first cycle this phase no longer applies.
+	Until int64
+	// Load is the offered load during the phase.
+	Load float64
+}
+
+// Piecewise returns a schedule stepping through phases in order; after the
+// last phase's Until, the last phase's load persists.
+func Piecewise(phases ...Phase) Schedule {
+	return func(cycle int64) float64 {
+		for _, p := range phases {
+			if cycle < p.Until {
+				return p.Load
+			}
+		}
+		if len(phases) == 0 {
+			return 0
+		}
+		return phases[len(phases)-1].Load
+	}
+}
+
+// Fig12Bursts is the offered-load schedule of Figure 12: a base load of
+// 0.01 packets/node/cycle, a burst to 0.30 during cycles [1000, 1500), a
+// return to base, a second burst to 0.10 during [2000, 2500), then base
+// again.
+func Fig12Bursts() Schedule {
+	return Piecewise(
+		Phase{Until: 1000, Load: 0.01},
+		Phase{Until: 1500, Load: 0.30},
+		Phase{Until: 2000, Load: 0.01},
+		Phase{Until: 2500, Load: 0.10},
+		Phase{Until: 1 << 62, Load: 0.01},
+	)
+}
+
+// Generator drives open-loop synthetic traffic into a network. Call Tick
+// once per cycle before Network.Step.
+type Generator struct {
+	net      *noc.Network
+	pattern  Pattern
+	schedule Schedule
+	rngs     []*sim.RNG
+	class    noc.MsgClass
+	bits     int
+
+	// Offered counts packets generated (offered load realized); the
+	// network's own counters give accepted load.
+	Offered int64
+}
+
+// NewGenerator builds a generator over net. Each node draws from its own
+// RNG split from seed, so traffic is independent of node iteration order.
+func NewGenerator(net *noc.Network, pattern Pattern, schedule Schedule, seed uint64) *Generator {
+	root := sim.NewRNG(seed)
+	nodes := net.Topo().Nodes()
+	g := &Generator{
+		net:      net,
+		pattern:  pattern,
+		schedule: schedule,
+		rngs:     make([]*sim.RNG, nodes),
+		class:    noc.ClassSynthetic,
+		bits:     SyntheticPacketBits,
+	}
+	for i := range g.rngs {
+		g.rngs[i] = root.SplitN(i)
+	}
+	return g
+}
+
+// SetPacket overrides the class and size of generated packets.
+func (g *Generator) SetPacket(class noc.MsgClass, bits int) {
+	g.class, g.bits = class, bits
+}
+
+// Tick injects this cycle's new packets: each node flips a Bernoulli coin
+// with the schedule's current load.
+func (g *Generator) Tick(now int64) {
+	load := g.schedule(now)
+	if load <= 0 {
+		return
+	}
+	rows, cols := g.net.Topo().Rows(), g.net.Topo().Cols()
+	for src := range g.rngs {
+		if !g.rngs[src].Bernoulli(load) {
+			continue
+		}
+		dst := g.pattern.Dest(g.rngs[src], src, rows, cols)
+		g.net.NewPacket(src, dst, g.class, g.bits)
+		g.Offered++
+	}
+}

@@ -1,0 +1,168 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/sim"
+)
+
+// TestPatternsValidDest: property — every pattern returns an in-range
+// destination different from the source.
+func TestPatternsValidDest(t *testing.T) {
+	rng := sim.NewRNG(1)
+	patterns := []Pattern{UniformRandom{}, Transpose{}, BitComplement{}}
+	f := func(s uint8) bool {
+		const rows, cols = 8, 8
+		src := int(s) % (rows * cols)
+		for _, p := range patterns {
+			d := p.Dest(rng, src, rows, cols)
+			if d < 0 || d >= rows*cols {
+				return false
+			}
+			if p.Name() != "bit-complement" && d == src {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeMapping(t *testing.T) {
+	rng := sim.NewRNG(2)
+	const rows, cols = 8, 8
+	// Off-diagonal: (x,y) -> (y,x), an involution.
+	for src := 0; src < rows*cols; src++ {
+		x, y := src%cols, src/cols
+		if x == y {
+			continue
+		}
+		d := Transpose{}.Dest(rng, src, rows, cols)
+		if d != x*cols+y {
+			t.Fatalf("transpose(%d) = %d, want %d", src, d, x*cols+y)
+		}
+		if back := (Transpose{}).Dest(rng, d, rows, cols); back != src {
+			t.Fatalf("transpose not involutive: %d -> %d -> %d", src, d, back)
+		}
+	}
+}
+
+func TestBitComplementCrossesCenter(t *testing.T) {
+	rng := sim.NewRNG(3)
+	const rows, cols = 8, 8
+	for src := 0; src < rows*cols; src++ {
+		d := BitComplement{}.Dest(rng, src, rows, cols)
+		if d != rows*cols-1-src {
+			t.Fatalf("bitcomp(%d) = %d", src, d)
+		}
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	for _, name := range []string{"uniform-random", "ur", "transpose", "bit-complement"} {
+		if _, err := PatternByName(name); err != nil {
+			t.Errorf("PatternByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PatternByName("nope"); err == nil {
+		t.Error("want error for unknown pattern")
+	}
+}
+
+func TestPiecewiseSchedule(t *testing.T) {
+	s := Piecewise(Phase{Until: 10, Load: 0.1}, Phase{Until: 20, Load: 0.5})
+	cases := map[int64]float64{0: 0.1, 9: 0.1, 10: 0.5, 19: 0.5, 25: 0.5, 1000: 0.5}
+	for c, want := range cases {
+		if got := s(c); got != want {
+			t.Errorf("schedule(%d) = %v, want %v", c, got, want)
+		}
+	}
+	if Piecewise()(5) != 0 {
+		t.Error("empty schedule should offer 0")
+	}
+}
+
+func TestFig12Schedule(t *testing.T) {
+	s := Fig12Bursts()
+	cases := map[int64]float64{0: 0.01, 999: 0.01, 1000: 0.30, 1499: 0.30, 1500: 0.01, 2000: 0.10, 2499: 0.10, 2500: 0.01}
+	for c, want := range cases {
+		if got := s(c); got != want {
+			t.Errorf("Fig12Bursts(%d) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func newTestNet(t *testing.T) *noc.Network {
+	t.Helper()
+	cfg := noc.Config{
+		Rows: 4, Cols: 4, TilesPerNode: 4, RegionDim: 2,
+		Subnets: 2, LinkWidthBits: 256,
+		VCs: 4, VCDepth: 4, InjQueueFlits: 16,
+		RouterDelay: 2, LinkDelay: 1, CreditDelay: 1,
+		TWakeup: 10, WakeupHidden: 3, TIdleDetect: 4, TBreakeven: 12,
+	}
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestGeneratorRate: the realized offered load must match the schedule.
+func TestGeneratorRate(t *testing.T) {
+	net := newTestNet(t)
+	const load, cycles = 0.2, 20000
+	gen := NewGenerator(net, UniformRandom{}, Constant(load), 5)
+	for i := int64(0); i < cycles; i++ {
+		gen.Tick(i)
+		net.Step()
+	}
+	rate := float64(gen.Offered) / cycles / float64(net.Topo().Nodes())
+	if math.Abs(rate-load) > 0.01 {
+		t.Errorf("offered rate = %.4f, want %.2f", rate, load)
+	}
+}
+
+func TestGeneratorZeroLoad(t *testing.T) {
+	net := newTestNet(t)
+	gen := NewGenerator(net, UniformRandom{}, Constant(0), 5)
+	for i := int64(0); i < 100; i++ {
+		gen.Tick(i)
+	}
+	if gen.Offered != 0 {
+		t.Errorf("offered %d packets at zero load", gen.Offered)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() int64 {
+		net := newTestNet(t)
+		gen := NewGenerator(net, Transpose{}, Constant(0.3), 9)
+		for i := int64(0); i < 2000; i++ {
+			gen.Tick(i)
+			net.Step()
+		}
+		return gen.Offered
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic generator: %d vs %d", a, b)
+	}
+}
+
+func TestSetPacket(t *testing.T) {
+	net := newTestNet(t)
+	gen := NewGenerator(net, UniformRandom{}, Constant(1), 5)
+	gen.SetPacket(noc.ClassRequest, 72)
+	gen.Tick(0)
+	net.Step()
+	created, _, _ := net.Counts()
+	if created == 0 {
+		t.Fatal("no packets at load 1")
+	}
+}
