@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments quick-experiments fmt vet clean
+.PHONY: all check build test race bench experiments quick-experiments fmt vet clean
 
-all: build test
+all: check
+
+# check is the default verification path: build, tests, vet, and the
+# full suite under the race detector (the sweep engine and the parallel
+# subnet mode both rely on race-clean concurrency).
+check: build test race
 
 build:
 	$(GO) build ./...
@@ -13,7 +18,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/noc/ ./internal/cpusim/ .
+	$(GO) test -race ./...
+	$(GO) vet ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -8,6 +8,8 @@ package catnap
 // rows/series; EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"github.com/catnap-noc/catnap/internal/traffic"
@@ -215,6 +217,34 @@ func BenchmarkHeadline(b *testing.B) {
 		b.ReportMetric(h.AvgPerfCost*100, "perfCost%")
 		b.ReportMetric(h.LightCSCPercent, "lightCSC%")
 	}
+}
+
+// --- sweep-engine benchmarks ------------------------------------------------
+
+// BenchmarkSweepFig6Jobs1 runs the Figure 6 grid through the sweep
+// engine pinned to one worker — the sequential baseline for the
+// parallel speedup below.
+func BenchmarkSweepFig6Jobs1(b *testing.B) {
+	benchSweepFig6(b, 1)
+}
+
+// BenchmarkSweepFig6JobsMax runs the same grid at GOMAXPROCS workers;
+// compare against Jobs1 for the wall-clock speedup (results are
+// bit-identical at any worker count).
+func BenchmarkSweepFig6JobsMax(b *testing.B) {
+	benchSweepFig6(b, runtime.GOMAXPROCS(0))
+}
+
+func benchSweepFig6(b *testing.B, jobs int) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		pts, err := RunFig6Ctx(context.Background(), benchScale, benchLoads, SweepOptions{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += int64(len(pts)) * (benchScale.Warmup + benchScale.Measure)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simCycles/s")
 }
 
 // --- engine micro-benchmarks ------------------------------------------------

@@ -3,19 +3,27 @@
 // throughput, latency, power, CSC, and per-subnet flit shares. It is the
 // free-form exploration companion to cmd/catnap's canned experiments.
 //
+// The loads run in parallel on the sweep engine (-jobs workers, default
+// GOMAXPROCS); rows are printed in load order once the sweep completes,
+// so the result table is byte-identical at any worker count. Progress
+// and the end-of-run summary go to stderr (-v logs every point).
+//
 // Example:
 //
 //	catnap-sweep -design 4NT-128b-PG -pattern transpose -loads 0.02,0.05,0.1,0.2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/runner"
 	"github.com/catnap-noc/catnap/internal/traffic"
 )
 
@@ -28,10 +36,14 @@ var (
 	seed      = flag.Uint64("seed", 1, "experiment seed")
 	metricTh  = flag.Float64("threshold", 0, "override the congestion metric threshold (0 = default)")
 	traceFile = flag.String("trace", "", "write a JSONL per-packet trace to this file (single-load runs)")
+	jobs      = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	verbose   = flag.Bool("v", false, "log every sweep point as it completes")
 )
 
 func main() {
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	pat, err := traffic.PatternByName(*pattern)
 	if err != nil {
 		fail(err)
@@ -40,51 +52,72 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if _, err := catnap.Design(*design); err != nil {
+		fail(err)
+	}
+	if *traceFile != "" && len(loads) > 1 {
+		fail(fmt.Errorf("-trace records one run's packets; use a single -loads value"))
+	}
+
+	pts := make([]runner.Point[catnap.Results], len(loads))
+	for i, load := range loads {
+		pts[i] = runner.Point[catnap.Results]{
+			Label:  fmt.Sprintf("%s @ %.3f", *design, load),
+			Cycles: *warmup + *measure,
+			Run: func(ctx context.Context) (catnap.Results, error) {
+				cfg, err := catnap.Design(*design)
+				if err != nil {
+					return catnap.Results{}, err
+				}
+				cfg.Seed = *seed
+				if *metricTh > 0 {
+					cfg.MetricThreshold = *metricTh
+				}
+				sim, err := catnap.New(cfg)
+				if err != nil {
+					return catnap.Results{}, err
+				}
+				var flushTrace func() error
+				if *traceFile != "" {
+					f, err := os.Create(*traceFile)
+					if err != nil {
+						return catnap.Results{}, err
+					}
+					tw := sim.EnableTrace(f)
+					flushTrace = tw.Close
+				}
+				res, err := sim.RunSyntheticCtx(ctx, pat, traffic.Constant(load), *warmup, *measure)
+				if err != nil {
+					return catnap.Results{}, err
+				}
+				if flushTrace != nil {
+					if err := flushTrace(); err != nil {
+						return catnap.Results{}, err
+					}
+				}
+				return res, nil
+			},
+		}
+	}
+
+	prog := runner.NewConsole(os.Stderr, *verbose)
+	results, err := runner.Values(runner.Run(ctx, pts, runner.Options{Jobs: *jobs, Progress: prog}))
+	prog.Finish()
+	if err != nil {
+		fail(err)
+	}
 
 	fmt.Printf("# design=%s pattern=%s warmup=%d measure=%d seed=%d\n",
 		*design, *pattern, *warmup, *measure, *seed)
 	fmt.Printf("%8s %9s %9s %9s %9s %7s %7s  %s\n",
 		"offered", "accepted", "lat", "p99", "power(W)", "CSC%", "active", "subnet shares")
-
-	for _, load := range loads {
-		cfg, err := catnap.Design(*design)
-		if err != nil {
-			fail(err)
-		}
-		cfg.Seed = *seed
-		if *metricTh > 0 {
-			cfg.MetricThreshold = *metricTh
-		}
-		sim, err := catnap.New(cfg)
-		if err != nil {
-			fail(err)
-		}
-		var flushTrace func()
-		if *traceFile != "" {
-			f, err := os.Create(*traceFile)
-			if err != nil {
-				fail(err)
-			}
-			tw := sim.EnableTrace(f)
-			flushTrace = func() {
-				if err := tw.Close(); err != nil {
-					fail(err)
-				}
-			}
-		}
-		res := sim.RunSynthetic(pat, traffic.Constant(load), *warmup, *measure)
-		if flushTrace != nil {
-			flushTrace()
-			if len(loads) > 1 {
-				fmt.Fprintln(os.Stderr, "catnap-sweep: -trace holds only the last load's packets; use a single -loads value")
-			}
-		}
+	for i, res := range results {
 		shares := make([]string, len(res.SubnetShare))
-		for i, s := range res.SubnetShare {
-			shares[i] = fmt.Sprintf("%.2f", s)
+		for j, s := range res.SubnetShare {
+			shares[j] = fmt.Sprintf("%.2f", s)
 		}
 		fmt.Printf("%8.3f %9.4f %9.1f %9.0f %9.1f %7.1f %7.2f  %s\n",
-			load, res.AcceptedThroughput, res.AvgLatency, res.P99Latency,
+			loads[i], res.AcceptedThroughput, res.AvgLatency, res.P99Latency,
 			res.Power.Total, res.CSCPercent, res.ActiveRouterFraction,
 			strings.Join(shares, ","))
 	}

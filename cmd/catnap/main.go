@@ -5,40 +5,58 @@
 //
 //	catnap [flags] <experiment>
 //
-// Experiments: fig2 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 headline designs — plus, beyond the paper: profiles hetero
-// topology, and "ablation <study>".
+// The experiment list comes from the catnap.Experiments registry: fig2
+// table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 headline —
+// plus, beyond the paper: profiles hetero topology, and
+// "ablation <study>". "designs" lists the registered configurations.
+//
+// Grid-shaped experiments run on the parallel sweep engine; -jobs
+// selects the worker count (default GOMAXPROCS) and -v logs every sweep
+// point. Progress and the end-of-run summary go to stderr, result
+// tables to stdout. Interrupting (Ctrl-C) cancels the sweep between
+// simulated cycles. Results are bit-identical at any -jobs value.
 //
 // Flags:
 //
 //	-quick     reduced cycle counts (fast smoke run)
 //	-csv       emit CSV instead of aligned text
 //	-pattern   traffic pattern for fig11 (uniform-random|transpose|bit-complement)
+//	-jobs      parallel sweep workers (0 = GOMAXPROCS)
+//	-timeout   per-point wall-clock limit (0 = none)
+//	-v         log every sweep point as it completes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
 	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/runner"
 )
 
 var (
 	quick   = flag.Bool("quick", false, "reduced cycle counts for a fast smoke run")
 	csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	pattern = flag.String("pattern", "uniform-random", "traffic pattern for fig11")
+	jobs    = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	timeout = flag.Duration("timeout", 0, "per-point wall-clock limit (0 = none)")
+	verbose = flag.Bool("v", false, "log every sweep point as it completes")
 )
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch flag.NArg() {
 	case 1:
-		err = run(flag.Arg(0))
+		err = run(ctx, flag.Arg(0))
 	case 2:
 		if flag.Arg(0) != "ablation" {
 			usage()
@@ -55,10 +73,50 @@ func main() {
 	}
 }
 
+// run executes one registry experiment (or a listing command) and
+// renders its table.
+func run(ctx context.Context, name string) error {
+	switch name {
+	case "designs":
+		for _, d := range catnap.Designs() {
+			cfg, err := catnap.Design(d)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-18s %dx%d mesh, %d subnet(s) x %db @ %.3fV\n",
+				d, cfg.Rows, cfg.Cols, cfg.Subnets, cfg.LinkWidthBits, cfg.VoltageV)
+		}
+		return nil
+	case "list":
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, e := range catnap.Experiments() {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", e.Name, e.Kind, e.Description)
+		}
+		return w.Flush()
+	}
+
+	prog := runner.NewConsole(os.Stderr, *verbose)
+	res, err := catnap.RunExperiment(ctx, name, catnap.ExperimentOptions{
+		Scale:   scale(),
+		Loads:   loads(),
+		Pattern: *pattern,
+		Sweep:   catnap.SweepOptions{Jobs: *jobs, Timeout: *timeout, Progress: prog},
+	})
+	prog.Finish()
+	if err != nil {
+		return err
+	}
+	table(res.Header, res.Rows)
+	if res.Note != "" {
+		fmt.Println("\n" + res.Note)
+	}
+	return nil
+}
+
 // runAblation renders one design-choice study around the Catnap
 // operating point.
 func runAblation(study string) error {
-	pts, err := catnap.RunAblation(study, scale(false))
+	pts, err := catnap.RunAblation(study, scale())
 	if err != nil {
 		return err
 	}
@@ -78,48 +136,37 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: catnap [flags] <experiment>
 
 Experiments (each regenerates one table/figure of the ISCA'13 paper):
-  fig2      performance of 128b vs 512b Single-NoC on Light/Heavy workloads
-  table2    router width -> frequency/voltage pairs
-  fig6      throughput & latency of 1/2/4/8-subnet designs (uniform random)
-  fig7      analytic network power breakdown at near saturation
-  fig8      network power and normalized performance, app workloads
-  fig9      compensated sleep cycles, app workloads
-  fig10     power/CSC/throughput/latency vs offered load, with/without PG
-  fig11     congestion-metric policy comparison (use -pattern)
-  fig12     bursty-traffic ramp-up and subnet utilization over time
-  fig13     injection-rate threshold sweep (uniform random + transpose)
-  fig14     64-core study: CSC and latency
-  headline  the paper's headline: 44%% power saving at ~5%% performance cost
-  designs   list registered network configurations
-
-Beyond the paper:
-  profiles           per-benchmark characterization of all 35 application profiles
-  hetero             Heavy-west/Light-east split chip: regional vs local detection
-  topology           Catnap on mesh vs torus vs flattened butterfly (§8 future work)
-  ablation <study>   studies: rcs threshold idle-detect wakeup region subnets
+`)
+	for _, e := range catnap.Experiments() {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", e.Name, e.Description)
+	}
+	fmt.Fprintf(os.Stderr, `
+Listings and studies:
+  list               the experiment registry with kinds
+  designs            list registered network configurations
+  ablation <study>   studies: %s
 
 Flags:
-`)
+`, strings.Join(catnap.AblationNames(), " "))
 	flag.PrintDefaults()
 }
 
-// scale returns the simulation scale for the current -quick setting.
-func scale(app bool) catnap.Scale {
+// scale returns the simulation scale override for the current -quick
+// setting; the zero Scale selects each experiment's own defaults.
+func scale() catnap.Scale {
 	if *quick {
 		return catnap.Scale{Warmup: 1000, Measure: 4000}
 	}
-	if app {
-		return catnap.DefaultAppScale
-	}
-	return catnap.DefaultSyntheticScale
+	return catnap.Scale{}
 }
 
-// loads returns the offered-load sweep for the current -quick setting.
+// loads returns the offered-load sweep for the current -quick setting;
+// nil selects each experiment's default sweep.
 func loads() []float64 {
 	if *quick {
 		return []float64{0.05, 0.15, 0.30, 0.45}
 	}
-	return catnap.DefaultLoads
+	return nil
 }
 
 // table renders rows with a header through a tabwriter or as CSV.
@@ -140,199 +187,3 @@ func table(header []string, rows [][]string) {
 }
 
 func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
-
-func run(name string) error {
-	switch name {
-	case "designs":
-		for _, d := range catnap.Designs() {
-			cfg, _ := catnap.Design(d)
-			fmt.Printf("%-18s %dx%d mesh, %d subnet(s) x %db @ %.3fV\n",
-				d, cfg.Rows, cfg.Cols, cfg.Subnets, cfg.LinkWidthBits, cfg.VoltageV)
-		}
-		return nil
-
-	case "fig2":
-		rows, err := catnap.RunFig2(scale(true))
-		if err != nil {
-			return err
-		}
-		var out [][]string
-		for _, r := range rows {
-			out = append(out, []string{r.Workload, r.Design, f(r.SystemIPC, 1), f(r.Normalized, 3)})
-		}
-		table([]string{"workload", "design", "system IPC", "normalized"}, out)
-		fmt.Println("\npaper: Heavy loses ~41% on the under-provisioned 128-bit Single-NoC; Light barely changes")
-		return nil
-
-	case "table2":
-		var out [][]string
-		for _, r := range catnap.RunTable2() {
-			out = append(out, []string{r.Design, fmt.Sprint(r.WidthBits), f(r.FreqGHz, 1), f(r.VoltV, 3)})
-		}
-		table([]string{"design", "router width (bits)", "frequency (GHz)", "voltage (V)"}, out)
-		fmt.Println("\npaper Table 2: 512b{2.0GHz@0.750V, 1.4GHz@0.625V}  128b{2.9GHz@0.750V, 2.0GHz@0.625V}")
-		return nil
-
-	case "fig6":
-		pts := catnap.RunFig6(scale(false), loads())
-		var out [][]string
-		for _, p := range pts {
-			out = append(out, []string{p.Design, f(p.Offered, 2), f(p.Accepted, 3), f(p.Latency, 1)})
-		}
-		table([]string{"design", "offered", "accepted (pkts/node/cyc)", "avg latency (cyc)"}, out)
-		fmt.Println("\npaper: >4 subnets loses throughput; latency grows a few cycles per halving of width")
-		return nil
-
-	case "fig7":
-		var out [][]string
-		for _, r := range catnap.RunFig7() {
-			b := r.Breakdown
-			out = append(out, []string{
-				r.Label, f(b.NI, 1), f(b.Link, 1), f(b.Clock, 1), f(b.Control, 1), f(b.Crossbar, 1), f(b.Buffer, 1), f(b.Static, 1), f(b.Total, 1),
-			})
-		}
-		table([]string{"config", "NI", "link", "clock", "control", "crossbar", "buffer", "static", "total (W)"}, out)
-		fmt.Println("\npaper Fig 7: Single-NoC ~70W; voltage-scaled Multi-NoC substantially lower")
-		return nil
-
-	case "fig8", "fig9":
-		rows, err := catnap.RunAppWorkloads(scale(true), nil, nil)
-		if err != nil {
-			return err
-		}
-		var out [][]string
-		for _, r := range rows {
-			if name == "fig8" {
-				out = append(out, []string{
-					r.Workload, r.Design,
-					f(r.Results.Power.Dynamic, 1), f(r.Results.Power.Static, 1), f(r.Results.Power.Total, 1),
-					f(r.NormalizedPerf, 3),
-				})
-			} else {
-				out = append(out, []string{r.Workload, r.Design, f(r.Results.CSCPercent, 1)})
-			}
-		}
-		if name == "fig8" {
-			table([]string{"workload", "design", "dynamic (W)", "static (W)", "total (W)", "norm. perf"}, out)
-			fmt.Println("\npaper Fig 8: Multi-NoC-PG ~20W avg vs Single-NoC ~36W; ~5% avg performance cost")
-		} else {
-			table([]string{"workload", "design", "CSC (%)"}, out)
-			fmt.Println("\npaper Fig 9: ~70% CSC for Multi-NoC-PG on Light; negligible for Single-NoC-PG")
-		}
-		return nil
-
-	case "fig10":
-		pts := catnap.RunFig10(scale(false), loads())
-		var out [][]string
-		for _, p := range pts {
-			out = append(out, []string{p.Design, f(p.Offered, 2), f(p.PowerW, 1), f(p.CSCPercent, 1), f(p.Accepted, 3), f(p.Latency, 1)})
-		}
-		table([]string{"design", "offered", "power (W)", "CSC (%)", "accepted", "latency (cyc)"}, out)
-		fmt.Println("\npaper Fig 10: at 0.03 load Multi-NoC-PG 7.8W/74% CSC vs Single-NoC-PG 24.1W/10% CSC")
-		return nil
-
-	case "fig11":
-		pts, err := catnap.RunFig11(scale(false), *pattern, loads())
-		if err != nil {
-			return err
-		}
-		var out [][]string
-		for _, p := range pts {
-			out = append(out, []string{p.Policy, f(p.Offered, 2), f(p.Accepted, 3), f(p.Latency, 1), f(p.CSCPercent, 1)})
-		}
-		table([]string{"policy", "offered", "accepted", "latency (cyc)", "CSC (%)"}, out)
-		fmt.Println("\npaper Fig 11: BFM and Delay win; RR has much higher latency; BFA/IQOcc lose throughput")
-		return nil
-
-	case "fig12":
-		total, window := int64(3000), int64(50)
-		pts := catnap.RunFig12(total, window)
-		var out [][]string
-		for _, p := range pts {
-			row := []string{fmt.Sprint(p.Cycle), f(p.Offered, 3), f(p.Accepted, 3)}
-			for _, s := range p.SubnetShare {
-				row = append(row, f(s, 2))
-			}
-			out = append(out, row)
-		}
-		table([]string{"cycle", "offered", "accepted", "subnet0", "subnet1", "subnet2", "subnet3"}, out)
-		fmt.Println("\npaper Fig 12: accepted catches offered within ~200 cycles; burst1 opens all subnets, burst2 only two")
-		return nil
-
-	case "fig13":
-		pts, err := catnap.RunFig13(scale(false), loads())
-		if err != nil {
-			return err
-		}
-		var out [][]string
-		for _, p := range pts {
-			out = append(out, []string{p.Pattern, f(p.Threshold, 2), f(p.Offered, 2), f(p.Accepted, 3), f(p.Latency, 1)})
-		}
-		table([]string{"pattern", "IR threshold", "offered", "accepted", "latency (cyc)"}, out)
-		fmt.Println("\npaper Fig 13: UR tolerates thresholds up to 0.20; transpose needs <=0.08 — no single threshold works")
-		return nil
-
-	case "fig14":
-		pts := catnap.RunFig14(scale(false), loads())
-		var out [][]string
-		for _, p := range pts {
-			out = append(out, []string{p.Design, f(p.Offered, 2), f(p.CSCPercent, 1), f(p.Latency, 1), f(p.Accepted, 3)})
-		}
-		table([]string{"design", "offered", "CSC (%)", "latency (cyc)", "accepted"}, out)
-		fmt.Println("\npaper Fig 14: 64-core Multi-NoC reaches ~50% CSC at low load vs ~17% for Single-NoC")
-		return nil
-
-	case "profiles":
-		rows, err := catnap.RunProfiles(scale(true))
-		if err != nil {
-			return err
-		}
-		var out [][]string
-		for _, r := range rows {
-			out = append(out, []string{r.Benchmark, r.Suite, f(r.MPKI, 1), f(r.IPC, 2), f(r.PacketsPerNodeCycle, 3), f(r.AvgLatency, 1)})
-		}
-		table([]string{"benchmark", "suite", "MPKI", "IPC/core", "pkts/node/cyc", "latency"}, out)
-		return nil
-
-	case "topology":
-		pts := catnap.RunTopology(scale(false), loads())
-		var out [][]string
-		for _, p := range pts {
-			out = append(out, []string{p.Design, f(p.Offered, 2), f(p.Accepted, 3), f(p.Latency, 1), f(p.PowerW, 1), f(p.CSCPercent, 1)})
-		}
-		table([]string{"design", "offered", "accepted", "latency (cyc)", "power (W)", "CSC (%)"}, out)
-		fmt.Println("\n§8 future work: the Catnap benefits carry over to the torus and flattened butterfly")
-		return nil
-
-	case "hetero":
-		rows, err := catnap.RunHetero(scale(true))
-		if err != nil {
-			return err
-		}
-		var out [][]string
-		for _, r := range rows {
-			out = append(out, []string{
-				r.Variant, f(r.Results.AvgLatency, 1), f(r.Results.P99Latency, 0),
-				f(r.Results.SystemIPC, 1), f(r.Results.Power.Total, 1), f(r.Results.CSCPercent, 1),
-			})
-		}
-		table([]string{"detection", "avg latency", "p99", "system IPC", "power (W)", "CSC (%)"}, out)
-		fmt.Println("\n§3.2.1's motivation: with non-uniform placement, regional detection reacts before local back-pressure does")
-		return nil
-
-	case "headline":
-		h, err := catnap.RunHeadline(scale(true))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Single-NoC (1NT-512b) average network power:   %6.1f W   (paper ~36 W)\n", h.SingleAvgPowerW)
-		fmt.Printf("Catnap Multi-NoC (4NT-128b-PG) average power:  %6.1f W   (paper ~20 W)\n", h.MultiPGAvgPowerW)
-		fmt.Printf("Network power reduction:                       %6.1f %%  (paper ~44 %%)\n", h.PowerReduction*100)
-		fmt.Printf("Average performance cost:                      %6.1f %%  (paper ~5 %%)\n", h.AvgPerfCost*100)
-		fmt.Printf("Compensated sleep cycles on Light:             %6.1f %%  (paper ~70 %%)\n", h.LightCSCPercent)
-		return nil
-
-	default:
-		return fmt.Errorf("unknown experiment %q (run with no args for the list)", name)
-	}
-}

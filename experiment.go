@@ -1,0 +1,388 @@
+package catnap
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// This file is the unified experiment API: a registry of every canned
+// experiment (one per table/figure of the paper plus the beyond-paper
+// studies), each returning a typed result with a ready-to-render table.
+// cmd/catnap is a thin shell over RunExperiment; the RunFigN functions
+// remain available for programmatic use of the underlying data.
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	// Name is the CLI-facing identifier ("fig6", "headline", ...).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Kind classifies the experiment: "figure" and "table" reproduce the
+	// paper's evaluation, "summary" derives headline numbers, and
+	// "study" goes beyond the paper.
+	Kind string
+}
+
+// ExperimentOptions parameterizes RunExperiment. The zero value selects
+// every experiment's own defaults (paper-scale cycle counts, the
+// standard load sweep, uniform-random traffic, GOMAXPROCS workers).
+type ExperimentOptions struct {
+	// Scale overrides the cycle counts; zero fields select the
+	// experiment's defaults.
+	Scale Scale
+	// Loads overrides the offered-load sweep where applicable.
+	Loads []float64
+	// Pattern selects the traffic pattern for experiments that take one
+	// (fig11); empty means uniform-random.
+	Pattern string
+	// Sweep configures the parallel engine (worker count, per-point
+	// timeout, progress reporting).
+	Sweep SweepOptions
+}
+
+// ExperimentResult is one experiment's outcome: the typed rows plus a
+// rendered table.
+type ExperimentResult struct {
+	// Name echoes the experiment.
+	Name string
+	// Header and Rows are the rendered table (cmd/catnap prints them as
+	// aligned text or CSV).
+	Header []string
+	Rows   [][]string
+	// Note is the paper-comparison footnote, if any.
+	Note string
+	// Data holds the typed rows the table was rendered from
+	// ([]Fig6Point, []AppRow, Headline, ...).
+	Data any
+}
+
+// experiment pairs the registry metadata with its run function.
+type experiment struct {
+	info ExperimentInfo
+	run  func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error)
+}
+
+// experimentList is ordered as the paper presents the evaluation,
+// beyond-paper studies last.
+var experimentList []experiment
+
+func registerExperiment(info ExperimentInfo, run func(context.Context, ExperimentOptions) (*ExperimentResult, error)) {
+	experimentList = append(experimentList, experiment{info: info, run: run})
+}
+
+// Experiments lists the registered experiments in presentation order.
+func Experiments() []ExperimentInfo {
+	out := make([]ExperimentInfo, len(experimentList))
+	for i, e := range experimentList {
+		out[i] = e.info
+	}
+	return out
+}
+
+// ExperimentNames lists the registered experiment names in order.
+func ExperimentNames() []string {
+	names := make([]string, len(experimentList))
+	for i, e := range experimentList {
+		names[i] = e.info.Name
+	}
+	return names
+}
+
+// RunExperiment executes the named experiment. Unknown names error with
+// the valid choices; cancellation of ctx stops the underlying sweep
+// between simulated cycles.
+func RunExperiment(ctx context.Context, name string, opts ExperimentOptions) (*ExperimentResult, error) {
+	for _, e := range experimentList {
+		if e.info.Name == name {
+			return e.run(ctx, opts)
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(ExperimentNames(), " "))
+}
+
+// fcell formats one numeric table cell.
+func fcell(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+func init() {
+	registerExperiment(ExperimentInfo{"fig2", "performance of 128b vs 512b Single-NoC on Light/Heavy workloads", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows, err := RunFig2(opts.Scale)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig2",
+				Header: []string{"workload", "design", "system IPC", "normalized"},
+				Note:   "paper: Heavy loses ~41% on the under-provisioned 128-bit Single-NoC; Light barely changes",
+				Data:   rows,
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, []string{r.Workload, r.Design, fcell(r.SystemIPC, 1), fcell(r.Normalized, 3)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"table2", "router width -> frequency/voltage pairs", "table"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows := RunTable2()
+			res := &ExperimentResult{
+				Name:   "table2",
+				Header: []string{"design", "router width (bits)", "frequency (GHz)", "voltage (V)"},
+				Note:   "paper Table 2: 512b{2.0GHz@0.750V, 1.4GHz@0.625V}  128b{2.9GHz@0.750V, 2.0GHz@0.625V}",
+				Data:   rows,
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, []string{r.Design, fmt.Sprint(r.WidthBits), fcell(r.FreqGHz, 1), fcell(r.VoltV, 3)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig6", "throughput & latency of 1/2/4/8-subnet designs (uniform random)", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pts, err := RunFig6Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig6",
+				Header: []string{"design", "offered", "accepted (pkts/node/cyc)", "avg latency (cyc)"},
+				Note:   "paper: >4 subnets loses throughput; latency grows a few cycles per halving of width",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				res.Rows = append(res.Rows, []string{p.Design, fcell(p.Offered, 2), fcell(p.Accepted, 3), fcell(p.Latency, 1)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig7", "analytic network power breakdown at near saturation", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows := RunFig7()
+			res := &ExperimentResult{
+				Name:   "fig7",
+				Header: []string{"config", "NI", "link", "clock", "control", "crossbar", "buffer", "static", "total (W)"},
+				Note:   "paper Fig 7: Single-NoC ~70W; voltage-scaled Multi-NoC substantially lower",
+				Data:   rows,
+			}
+			for _, r := range rows {
+				b := r.Breakdown
+				res.Rows = append(res.Rows, []string{
+					r.Label, fcell(b.NI, 1), fcell(b.Link, 1), fcell(b.Clock, 1), fcell(b.Control, 1),
+					fcell(b.Crossbar, 1), fcell(b.Buffer, 1), fcell(b.Static, 1), fcell(b.Total, 1),
+				})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig8", "network power and normalized performance, app workloads", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows, err := RunAppWorkloadsCtx(ctx, opts.Scale, nil, nil, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig8",
+				Header: []string{"workload", "design", "dynamic (W)", "static (W)", "total (W)", "norm. perf"},
+				Note:   "paper Fig 8: Multi-NoC-PG ~20W avg vs Single-NoC ~36W; ~5% avg performance cost",
+				Data:   rows,
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, []string{
+					r.Workload, r.Design,
+					fcell(r.Results.Power.Dynamic, 1), fcell(r.Results.Power.Static, 1), fcell(r.Results.Power.Total, 1),
+					fcell(r.NormalizedPerf, 3),
+				})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig9", "compensated sleep cycles, app workloads", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows, err := RunAppWorkloadsCtx(ctx, opts.Scale, nil, nil, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig9",
+				Header: []string{"workload", "design", "CSC (%)"},
+				Note:   "paper Fig 9: ~70% CSC for Multi-NoC-PG on Light; negligible for Single-NoC-PG",
+				Data:   rows,
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, []string{r.Workload, r.Design, fcell(r.Results.CSCPercent, 1)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig10", "power/CSC/throughput/latency vs offered load, with/without PG", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pts, err := RunFig10Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig10",
+				Header: []string{"design", "offered", "power (W)", "CSC (%)", "accepted", "latency (cyc)"},
+				Note:   "paper Fig 10: at 0.03 load Multi-NoC-PG 7.8W/74% CSC vs Single-NoC-PG 24.1W/10% CSC",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				res.Rows = append(res.Rows, []string{p.Design, fcell(p.Offered, 2), fcell(p.PowerW, 1), fcell(p.CSCPercent, 1), fcell(p.Accepted, 3), fcell(p.Latency, 1)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig11", "congestion-metric policy comparison (takes a traffic pattern)", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pattern := opts.Pattern
+			if pattern == "" {
+				pattern = "uniform-random"
+			}
+			pts, err := RunFig11Ctx(ctx, opts.Scale, pattern, opts.Loads, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig11",
+				Header: []string{"policy", "offered", "accepted", "latency (cyc)", "CSC (%)"},
+				Note:   "paper Fig 11: BFM and Delay win; RR has much higher latency; BFA/IQOcc lose throughput",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				res.Rows = append(res.Rows, []string{p.Policy, fcell(p.Offered, 2), fcell(p.Accepted, 3), fcell(p.Latency, 1), fcell(p.CSCPercent, 1)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig12", "bursty-traffic ramp-up and subnet utilization over time", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pts := RunFig12(0, 0)
+			res := &ExperimentResult{
+				Name:   "fig12",
+				Header: []string{"cycle", "offered", "accepted", "subnet0", "subnet1", "subnet2", "subnet3"},
+				Note:   "paper Fig 12: accepted catches offered within ~200 cycles; burst1 opens all subnets, burst2 only two",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				row := []string{fmt.Sprint(p.Cycle), fcell(p.Offered, 3), fcell(p.Accepted, 3)}
+				for _, s := range p.SubnetShare {
+					row = append(row, fcell(s, 2))
+				}
+				res.Rows = append(res.Rows, row)
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig13", "injection-rate threshold sweep (uniform random + transpose)", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pts, err := RunFig13Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig13",
+				Header: []string{"pattern", "IR threshold", "offered", "accepted", "latency (cyc)"},
+				Note:   "paper Fig 13: UR tolerates thresholds up to 0.20; transpose needs <=0.08 — no single threshold works",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				res.Rows = append(res.Rows, []string{p.Pattern, fcell(p.Threshold, 2), fcell(p.Offered, 2), fcell(p.Accepted, 3), fcell(p.Latency, 1)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"fig14", "64-core study: CSC and latency", "figure"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pts, err := RunFig14Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "fig14",
+				Header: []string{"design", "offered", "CSC (%)", "latency (cyc)", "accepted"},
+				Note:   "paper Fig 14: 64-core Multi-NoC reaches ~50% CSC at low load vs ~17% for Single-NoC",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				res.Rows = append(res.Rows, []string{p.Design, fcell(p.Offered, 2), fcell(p.CSCPercent, 1), fcell(p.Latency, 1), fcell(p.Accepted, 3)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"headline", "the paper's headline: 44% power saving at ~5% performance cost", "summary"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			h, err := RunHeadlineCtx(ctx, opts.Scale, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			return &ExperimentResult{
+				Name:   "headline",
+				Header: []string{"quantity", "measured", "paper"},
+				Rows: [][]string{
+					{"Single-NoC (1NT-512b) average network power (W)", fcell(h.SingleAvgPowerW, 1), "~36"},
+					{"Catnap Multi-NoC (4NT-128b-PG) average power (W)", fcell(h.MultiPGAvgPowerW, 1), "~20"},
+					{"Network power reduction (%)", fcell(h.PowerReduction*100, 1), "~44"},
+					{"Average performance cost (%)", fcell(h.AvgPerfCost*100, 1), "~5"},
+					{"Compensated sleep cycles on Light (%)", fcell(h.LightCSCPercent, 1), "~70"},
+				},
+				Data: h,
+			}, nil
+		})
+
+	registerExperiment(ExperimentInfo{"profiles", "per-benchmark characterization of all 35 application profiles", "study"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows, err := RunProfilesCtx(ctx, opts.Scale, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "profiles",
+				Header: []string{"benchmark", "suite", "MPKI", "IPC/core", "pkts/node/cyc", "latency"},
+				Data:   rows,
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, []string{r.Benchmark, r.Suite, fcell(r.MPKI, 1), fcell(r.IPC, 2), fcell(r.PacketsPerNodeCycle, 3), fcell(r.AvgLatency, 1)})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"hetero", "Heavy-west/Light-east split chip: regional vs local detection", "study"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			rows, err := RunHeteroCtx(ctx, opts.Scale, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "hetero",
+				Header: []string{"detection", "avg latency", "p99", "system IPC", "power (W)", "CSC (%)"},
+				Note:   "§3.2.1's motivation: with non-uniform placement, regional detection reacts before local back-pressure does",
+				Data:   rows,
+			}
+			for _, r := range rows {
+				res.Rows = append(res.Rows, []string{
+					r.Variant, fcell(r.Results.AvgLatency, 1), fcell(r.Results.P99Latency, 0),
+					fcell(r.Results.SystemIPC, 1), fcell(r.Results.Power.Total, 1), fcell(r.Results.CSCPercent, 1),
+				})
+			}
+			return res, nil
+		})
+
+	registerExperiment(ExperimentInfo{"topology", "Catnap on mesh vs torus vs flattened butterfly (§8 future work)", "study"},
+		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
+			pts, err := RunTopologyCtx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			if err != nil {
+				return nil, err
+			}
+			res := &ExperimentResult{
+				Name:   "topology",
+				Header: []string{"design", "offered", "accepted", "latency (cyc)", "power (W)", "CSC (%)"},
+				Note:   "§8 future work: the Catnap benefits carry over to the torus and flattened butterfly",
+				Data:   pts,
+			}
+			for _, p := range pts {
+				res.Rows = append(res.Rows, []string{p.Design, fcell(p.Offered, 2), fcell(p.Accepted, 3), fcell(p.Latency, 1), fcell(p.PowerW, 1), fcell(p.CSCPercent, 1)})
+			}
+			return res, nil
+		})
+}

@@ -1,11 +1,14 @@
 package catnap
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/catnap-noc/catnap/internal/congestion"
 	"github.com/catnap-noc/catnap/internal/cpusim"
 	"github.com/catnap-noc/catnap/internal/power"
+	"github.com/catnap-noc/catnap/internal/runner"
 	"github.com/catnap-noc/catnap/internal/traffic"
 	"github.com/catnap-noc/catnap/internal/workload"
 )
@@ -15,6 +18,67 @@ import (
 // as the paper's rows/series and bench_test.go exercises. Cycle counts are
 // parameters so benchmarks can trade precision for time; zero selects the
 // defaults used in EXPERIMENTS.md.
+//
+// Every grid-shaped runner (design × load and similar products) has a
+// Ctx variant that executes its points on the internal/runner worker
+// pool. The points are independent — each builds its own simulator with
+// its own seeded RNG — so results are bit-identical at any worker count;
+// the plain RunFigN functions are thin wrappers over the Ctx variants
+// with a background context and default SweepOptions.
+
+// SweepProgress receives per-point start/finish/error events from the
+// sweep engine; see internal/runner for the event schema and
+// runner.NewConsole for a ready-made terminal reporter.
+type SweepProgress = runner.Progress
+
+// SweepEvent is one sweep progress notification.
+type SweepEvent = runner.Event
+
+// SweepOptions configures how a grid runner executes its points.
+type SweepOptions struct {
+	// Jobs is the worker count; <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Timeout bounds each point's wall-clock time; 0 means no limit.
+	Timeout time.Duration
+	// Progress receives per-point events; nil disables reporting.
+	Progress SweepProgress
+}
+
+func (o SweepOptions) runnerOptions() runner.Options {
+	return runner.Options{Jobs: o.Jobs, Timeout: o.Timeout, Progress: o.Progress}
+}
+
+// sweep executes the points and unwraps the ordered results,
+// surfacing the first point failure as the sweep's error.
+func sweep[T any](ctx context.Context, pts []runner.Point[T], opts SweepOptions) ([]T, error) {
+	return runner.Values(runner.Run(ctx, pts, opts.runnerOptions()))
+}
+
+// newSim builds a simulator for a registered design, returning (not
+// panicking on) lookup errors so engine points degrade cleanly.
+func newSim(design string) (*Simulator, error) {
+	cfg, err := Design(design)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg)
+}
+
+// pointLabel names a (design, load) point for progress output.
+func pointLabel(design string, load float64) string {
+	return fmt.Sprintf("%s @ %.2f", design, load)
+}
+
+// mustSweep adapts a Ctx runner to the legacy error-free wrapper
+// signature. With a background context and the built-in design names the
+// error path is unreachable (it would be a programmer error, matching
+// the previous mustDesign/mustSim panics).
+func mustSweep[T any](vals []T, err error) []T {
+	if err != nil {
+		panic(err)
+	}
+	return vals
+}
 
 // Scale selects simulation lengths for the canned experiments.
 type Scale struct {
@@ -132,19 +196,36 @@ var Fig6Designs = []string{"1NT-512b", "2NT-256b", "4NT-128b", "8NT-64b"}
 // RunFig6 sweeps uniform-random load over the Figure 6 designs (no power
 // gating, round-robin selection — the §5 characterization).
 func RunFig6(sc Scale, loads []float64) []Fig6Point {
+	return mustSweep(RunFig6Ctx(context.Background(), sc, loads, SweepOptions{}))
+}
+
+// RunFig6Ctx is RunFig6 on the parallel sweep engine.
+func RunFig6Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig6Point, error) {
 	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
 	if loads == nil {
 		loads = DefaultLoads
 	}
-	var out []Fig6Point
+	var pts []runner.Point[Fig6Point]
 	for _, d := range Fig6Designs {
 		for _, load := range loads {
-			sim := mustSim(mustDesign(d))
-			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
-			out = append(out, Fig6Point{Design: d, Offered: load, Accepted: res.AcceptedThroughput, Latency: res.AvgLatency})
+			pts = append(pts, runner.Point[Fig6Point]{
+				Label:  pointLabel(d, load),
+				Cycles: sc.Warmup + sc.Measure,
+				Run: func(ctx context.Context) (Fig6Point, error) {
+					sim, err := newSim(d)
+					if err != nil {
+						return Fig6Point{}, err
+					}
+					res, err := sim.RunSyntheticCtx(ctx, traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+					if err != nil {
+						return Fig6Point{}, err
+					}
+					return Fig6Point{Design: d, Offered: load, Accepted: res.AcceptedThroughput, Latency: res.AvgLatency}, nil
+				},
+			})
 		}
 	}
-	return out
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -197,6 +278,14 @@ var AppWorkloadNames = []string{"Light", "Medium-Light", "Medium-Heavy", "Heavy"
 // RunAppWorkloads runs every (mix, design) pair of Figures 8/9 and
 // returns the full matrix. RunFig8/RunFig9/RunHeadline all derive from it.
 func RunAppWorkloads(sc Scale, mixes, designs []string) ([]AppRow, error) {
+	return RunAppWorkloadsCtx(context.Background(), sc, mixes, designs, SweepOptions{})
+}
+
+// RunAppWorkloadsCtx is RunAppWorkloads on the parallel sweep engine.
+// The (mix, design) points are independent; normalization against the
+// 1NT-512b baseline happens after the sweep (with a dedicated baseline
+// point per mix appended when the caller's design list omits it).
+func RunAppWorkloadsCtx(ctx context.Context, sc Scale, mixes, designs []string, opts SweepOptions) ([]AppRow, error) {
 	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
 	if mixes == nil {
 		mixes = AppWorkloadNames
@@ -204,48 +293,62 @@ func RunAppWorkloads(sc Scale, mixes, designs []string) ([]AppRow, error) {
 	if designs == nil {
 		designs = Fig8Designs
 	}
-	var rows []AppRow
+	appPoint := func(mix, design string) runner.Point[AppRow] {
+		return runner.Point[AppRow]{
+			Label:  mix + "/" + design,
+			Cycles: sc.Warmup + sc.Measure,
+			Run: func(ctx context.Context) (AppRow, error) {
+				cfg, err := Design(design)
+				if err != nil {
+					return AppRow{}, err
+				}
+				cfg.AppTraffic = true
+				sim, err := New(cfg)
+				if err != nil {
+					return AppRow{}, err
+				}
+				res, err := sim.RunApp(ctx, mix, sc.Warmup, sc.Measure)
+				if err != nil {
+					return AppRow{}, err
+				}
+				return AppRow{Workload: mix, Design: design, Results: res}, nil
+			},
+		}
+	}
+	hasBase := false
+	for _, d := range designs {
+		if d == "1NT-512b" {
+			hasBase = true
+		}
+	}
+	var pts []runner.Point[AppRow]
 	for _, mix := range mixes {
-		base := 0.0
-		baseSeen := false
-		var mixRows []AppRow
 		for _, design := range designs {
-			cfg := mustDesign(design)
-			cfg.AppTraffic = true
-			sim := mustSim(cfg)
-			if _, err := sim.UseMix(mix); err != nil {
-				return nil, err
-			}
-			sim.Run(sc.Warmup)
-			sim.StartMeasure()
-			sim.Run(sc.Measure)
-			res := sim.StopMeasure()
-			mixRows = append(mixRows, AppRow{Workload: mix, Design: design, Results: res})
-			if design == "1NT-512b" {
-				base = res.SystemIPC
-				baseSeen = true
-			}
+			pts = append(pts, appPoint(mix, design))
 		}
-		if !baseSeen {
-			// Normalize against a dedicated baseline run when the caller's
-			// design list omits it.
-			cfg := mustDesign("1NT-512b")
-			cfg.AppTraffic = true
-			sim := mustSim(cfg)
-			if _, err := sim.UseMix(mix); err != nil {
-				return nil, err
-			}
-			sim.Run(sc.Warmup)
-			sim.StartMeasure()
-			sim.Run(sc.Measure)
-			base = sim.StopMeasure().SystemIPC
+	}
+	if !hasBase {
+		// Normalize against a dedicated baseline run per mix when the
+		// caller's design list omits it.
+		for _, mix := range mixes {
+			pts = append(pts, appPoint(mix, "1NT-512b"))
 		}
-		for i := range mixRows {
-			if base > 0 {
-				mixRows[i].NormalizedPerf = mixRows[i].Results.SystemIPC / base
-			}
+	}
+	vals, err := sweep(ctx, pts, opts)
+	if err != nil {
+		return nil, err
+	}
+	rows := vals[:len(mixes)*len(designs)]
+	base := make(map[string]float64, len(mixes))
+	for _, r := range vals {
+		if r.Design == "1NT-512b" {
+			base[r.Workload] = r.Results.SystemIPC
 		}
-		rows = append(rows, mixRows...)
+	}
+	for i := range rows {
+		if b := base[rows[i].Workload]; b > 0 {
+			rows[i].NormalizedPerf = rows[i].Results.SystemIPC / b
+		}
 	}
 	return rows, nil
 }
@@ -268,23 +371,40 @@ var Fig10Designs = []string{"1NT-512b", "4NT-128b", "1NT-512b-PG", "4NT-128b-PG"
 
 // RunFig10 sweeps uniform-random load over the four designs.
 func RunFig10(sc Scale, loads []float64) []Fig10Point {
+	return mustSweep(RunFig10Ctx(context.Background(), sc, loads, SweepOptions{}))
+}
+
+// RunFig10Ctx is RunFig10 on the parallel sweep engine.
+func RunFig10Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig10Point, error) {
 	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
 	if loads == nil {
 		loads = DefaultLoads
 	}
-	var out []Fig10Point
+	var pts []runner.Point[Fig10Point]
 	for _, d := range Fig10Designs {
 		for _, load := range loads {
-			sim := mustSim(mustDesign(d))
-			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
-			out = append(out, Fig10Point{
-				Design: d, Offered: load,
-				PowerW: res.Power.Total, CSCPercent: res.CSCPercent,
-				Accepted: res.AcceptedThroughput, Latency: res.AvgLatency,
+			pts = append(pts, runner.Point[Fig10Point]{
+				Label:  pointLabel(d, load),
+				Cycles: sc.Warmup + sc.Measure,
+				Run: func(ctx context.Context) (Fig10Point, error) {
+					sim, err := newSim(d)
+					if err != nil {
+						return Fig10Point{}, err
+					}
+					res, err := sim.RunSyntheticCtx(ctx, traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+					if err != nil {
+						return Fig10Point{}, err
+					}
+					return Fig10Point{
+						Design: d, Offered: load,
+						PowerW: res.Power.Total, CSCPercent: res.CSCPercent,
+						Accepted: res.AcceptedThroughput, Latency: res.AvgLatency,
+					}, nil
+				},
 			})
 		}
 	}
-	return out
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +454,13 @@ type Fig11Point struct {
 // is "uniform-random", "transpose" or "bit-complement" (panels a–c); the
 // CSC column doubles as panel (d) for the RR and BFM rows.
 func RunFig11(sc Scale, patternName string, loads []float64) ([]Fig11Point, error) {
+	return RunFig11Ctx(context.Background(), sc, patternName, loads, SweepOptions{})
+}
+
+// RunFig11Ctx is RunFig11 on the parallel sweep engine. An unknown
+// pattern name errors up front (listing the valid choices) before any
+// point runs.
+func RunFig11Ctx(ctx context.Context, sc Scale, patternName string, loads []float64, opts SweepOptions) ([]Fig11Point, error) {
 	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
 	if loads == nil {
 		loads = DefaultLoads
@@ -342,18 +469,30 @@ func RunFig11(sc Scale, patternName string, loads []float64) ([]Fig11Point, erro
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig11Point
+	var pts []runner.Point[Fig11Point]
 	for _, pol := range Fig11Policies {
 		for _, load := range loads {
-			sim := mustSim(pol.Cfg())
-			res := sim.RunSynthetic(pattern, traffic.Constant(load), sc.Warmup, sc.Measure)
-			out = append(out, Fig11Point{
-				Policy: pol.Name, Offered: load,
-				Accepted: res.AcceptedThroughput, Latency: res.AvgLatency, CSCPercent: res.CSCPercent,
+			pts = append(pts, runner.Point[Fig11Point]{
+				Label:  pointLabel(pol.Name, load),
+				Cycles: sc.Warmup + sc.Measure,
+				Run: func(ctx context.Context) (Fig11Point, error) {
+					sim, err := New(pol.Cfg())
+					if err != nil {
+						return Fig11Point{}, err
+					}
+					res, err := sim.RunSyntheticCtx(ctx, pattern, traffic.Constant(load), sc.Warmup, sc.Measure)
+					if err != nil {
+						return Fig11Point{}, err
+					}
+					return Fig11Point{
+						Policy: pol.Name, Offered: load,
+						Accepted: res.AcceptedThroughput, Latency: res.AvgLatency, CSCPercent: res.CSCPercent,
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -441,11 +580,16 @@ var Fig13Thresholds = []float64{0.04, 0.08, 0.12, 0.16, 0.20, 0.24}
 // RunFig13 sweeps IR-threshold subnet selection (no power gating, as in
 // the paper) over uniform-random and transpose traffic.
 func RunFig13(sc Scale, loads []float64) ([]Fig13Point, error) {
+	return RunFig13Ctx(context.Background(), sc, loads, SweepOptions{})
+}
+
+// RunFig13Ctx is RunFig13 on the parallel sweep engine.
+func RunFig13Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig13Point, error) {
 	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
 	if loads == nil {
 		loads = DefaultLoads
 	}
-	var out []Fig13Point
+	var pts []runner.Point[Fig13Point]
 	for _, patName := range []string{"uniform-random", "transpose"} {
 		pattern, err := traffic.PatternByName(patName)
 		if err != nil {
@@ -453,19 +597,34 @@ func RunFig13(sc Scale, loads []float64) ([]Fig13Point, error) {
 		}
 		for _, thr := range Fig13Thresholds {
 			for _, load := range loads {
-				cfg := mustDesign("4NT-128b")
-				cfg.Selector = SelectorCatnap
-				cfg.Gating = GatingOff
-				cfg.Metric = congestion.IR
-				cfg.MetricThreshold = thr
-				cfg.Name = fmt.Sprintf("4NT-128b-IR-%.2f", thr)
-				sim := mustSim(cfg)
-				res := sim.RunSynthetic(pattern, traffic.Constant(load), sc.Warmup, sc.Measure)
-				out = append(out, Fig13Point{Pattern: patName, Threshold: thr, Offered: load, Latency: res.AvgLatency, Accepted: res.AcceptedThroughput})
+				pts = append(pts, runner.Point[Fig13Point]{
+					Label:  fmt.Sprintf("%s thr=%.2f @ %.2f", patName, thr, load),
+					Cycles: sc.Warmup + sc.Measure,
+					Run: func(ctx context.Context) (Fig13Point, error) {
+						cfg, err := Design("4NT-128b")
+						if err != nil {
+							return Fig13Point{}, err
+						}
+						cfg.Selector = SelectorCatnap
+						cfg.Gating = GatingOff
+						cfg.Metric = congestion.IR
+						cfg.MetricThreshold = thr
+						cfg.Name = fmt.Sprintf("4NT-128b-IR-%.2f", thr)
+						sim, err := New(cfg)
+						if err != nil {
+							return Fig13Point{}, err
+						}
+						res, err := sim.RunSyntheticCtx(ctx, pattern, traffic.Constant(load), sc.Warmup, sc.Measure)
+						if err != nil {
+							return Fig13Point{}, err
+						}
+						return Fig13Point{Pattern: patName, Threshold: thr, Offered: load, Latency: res.AvgLatency, Accepted: res.AcceptedThroughput}, nil
+					},
+				})
 			}
 		}
 	}
-	return out, nil
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -482,19 +641,36 @@ type Fig14Point struct {
 
 // RunFig14 sweeps uniform random over the 64-core designs.
 func RunFig14(sc Scale, loads []float64) []Fig14Point {
+	return mustSweep(RunFig14Ctx(context.Background(), sc, loads, SweepOptions{}))
+}
+
+// RunFig14Ctx is RunFig14 on the parallel sweep engine.
+func RunFig14Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig14Point, error) {
 	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
 	if loads == nil {
 		loads = DefaultLoads
 	}
-	var out []Fig14Point
+	var pts []runner.Point[Fig14Point]
 	for _, d := range []string{"64c-1NT-256b-PG", "64c-2NT-128b-PG"} {
 		for _, load := range loads {
-			sim := mustSim(mustDesign(d))
-			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
-			out = append(out, Fig14Point{Design: d, Offered: load, CSCPercent: res.CSCPercent, Latency: res.AvgLatency, Accepted: res.AcceptedThroughput})
+			pts = append(pts, runner.Point[Fig14Point]{
+				Label:  pointLabel(d, load),
+				Cycles: sc.Warmup + sc.Measure,
+				Run: func(ctx context.Context) (Fig14Point, error) {
+					sim, err := newSim(d)
+					if err != nil {
+						return Fig14Point{}, err
+					}
+					res, err := sim.RunSyntheticCtx(ctx, traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+					if err != nil {
+						return Fig14Point{}, err
+					}
+					return Fig14Point{Design: d, Offered: load, CSCPercent: res.CSCPercent, Latency: res.AvgLatency, Accepted: res.AcceptedThroughput}, nil
+				},
+			})
 		}
 	}
-	return out
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -519,47 +695,63 @@ type ProfileRow struct {
 // 1NT-256b system (characterization needs per-core behaviour, not chip
 // scale).
 func RunProfiles(sc Scale) ([]ProfileRow, error) {
+	return RunProfilesCtx(context.Background(), sc, SweepOptions{})
+}
+
+// RunProfilesCtx is RunProfiles on the parallel sweep engine — one point
+// per benchmark profile.
+func RunProfilesCtx(ctx context.Context, sc Scale, opts SweepOptions) ([]ProfileRow, error) {
 	sc = sc.or(3000, 10000)
-	var rows []ProfileRow
+	var pts []runner.Point[ProfileRow]
 	for i := range workload.Profiles {
 		prof := &workload.Profiles[i]
-		cfg := BaseConfig()
-		cfg.Name = "64c-1NT-256b"
-		cfg.Rows, cfg.Cols, cfg.RegionDim = 4, 4, 2
-		cfg.Subnets, cfg.LinkWidthBits = 1, 256
-		cfg.AppTraffic = true
-		cfg.ApplyDefaults()
-		sim, err := New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		assign := make([]*workload.Profile, sim.Net.Topo().Tiles())
-		for t := range assign {
-			assign[t] = prof
-		}
-		scfg := cpusim.DefaultConfig()
-		scfg.Seed = cfg.Seed
-		sys, err := cpusim.NewWithAssignment(sim.Net, scfg, assign)
-		if err != nil {
-			return nil, err
-		}
-		sim.sys = sys
-		sim.Run(sc.Warmup)
-		sim.StartMeasure()
-		sim.Run(sc.Measure)
-		res := sim.StopMeasure()
-		nodes := float64(sim.Net.Topo().Nodes())
-		cores := float64(len(assign))
-		rows = append(rows, ProfileRow{
-			Benchmark:           prof.Name,
-			Suite:               prof.Suite,
-			MPKI:                prof.MPKI(),
-			IPC:                 res.SystemIPC / cores,
-			PacketsPerNodeCycle: float64(res.PacketsDelivered) / float64(res.Cycles) / nodes,
-			AvgLatency:          res.AvgLatency,
+		pts = append(pts, runner.Point[ProfileRow]{
+			Label:  prof.Name,
+			Cycles: sc.Warmup + sc.Measure,
+			Run: func(ctx context.Context) (ProfileRow, error) {
+				cfg := BaseConfig()
+				cfg.Name = "64c-1NT-256b"
+				cfg.Rows, cfg.Cols, cfg.RegionDim = 4, 4, 2
+				cfg.Subnets, cfg.LinkWidthBits = 1, 256
+				cfg.AppTraffic = true
+				cfg.ApplyDefaults()
+				sim, err := New(cfg)
+				if err != nil {
+					return ProfileRow{}, err
+				}
+				assign := make([]*workload.Profile, sim.Net.Topo().Tiles())
+				for t := range assign {
+					assign[t] = prof
+				}
+				scfg := cpusim.DefaultConfig()
+				scfg.Seed = cfg.Seed
+				sys, err := cpusim.NewWithAssignment(sim.Net, scfg, assign)
+				if err != nil {
+					return ProfileRow{}, err
+				}
+				sim.sys = sys
+				if err := sim.RunCtx(ctx, sc.Warmup); err != nil {
+					return ProfileRow{}, err
+				}
+				sim.StartMeasure()
+				if err := sim.RunCtx(ctx, sc.Measure); err != nil {
+					return ProfileRow{}, err
+				}
+				res := sim.StopMeasure()
+				nodes := float64(sim.Net.Topo().Nodes())
+				cores := float64(len(assign))
+				return ProfileRow{
+					Benchmark:           prof.Name,
+					Suite:               prof.Suite,
+					MPKI:                prof.MPKI(),
+					IPC:                 res.SystemIPC / cores,
+					PacketsPerNodeCycle: float64(res.PacketsDelivered) / float64(res.Cycles) / nodes,
+					AvgLatency:          res.AvgLatency,
+				}, nil
+			},
 		})
 	}
-	return rows, nil
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -580,23 +772,40 @@ type TopologyPoint struct {
 // RunTopology sweeps uniform random over the mesh, torus, and flattened
 // butterfly Catnap designs.
 func RunTopology(sc Scale, loads []float64) []TopologyPoint {
+	return mustSweep(RunTopologyCtx(context.Background(), sc, loads, SweepOptions{}))
+}
+
+// RunTopologyCtx is RunTopology on the parallel sweep engine.
+func RunTopologyCtx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]TopologyPoint, error) {
 	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
 	if loads == nil {
 		loads = DefaultLoads
 	}
-	var out []TopologyPoint
+	var pts []runner.Point[TopologyPoint]
 	for _, d := range []string{"4NT-128b-PG", "4NT-128b-PG-torus", "4NT-128b-PG-fbfly"} {
 		for _, load := range loads {
-			sim := mustSim(mustDesign(d))
-			res := sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
-			out = append(out, TopologyPoint{
-				Design: d, Offered: load,
-				Accepted: res.AcceptedThroughput, Latency: res.AvgLatency,
-				PowerW: res.Power.Total, CSCPercent: res.CSCPercent,
+			pts = append(pts, runner.Point[TopologyPoint]{
+				Label:  pointLabel(d, load),
+				Cycles: sc.Warmup + sc.Measure,
+				Run: func(ctx context.Context) (TopologyPoint, error) {
+					sim, err := newSim(d)
+					if err != nil {
+						return TopologyPoint{}, err
+					}
+					res, err := sim.RunSyntheticCtx(ctx, traffic.UniformRandom{}, traffic.Constant(load), sc.Warmup, sc.Measure)
+					if err != nil {
+						return TopologyPoint{}, err
+					}
+					return TopologyPoint{
+						Design: d, Offered: load,
+						Accepted: res.AcceptedThroughput, Latency: res.AvgLatency,
+						PowerW: res.Power.Total, CSCPercent: res.CSCPercent,
+					}, nil
+				},
 			})
 		}
 	}
-	return out
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -617,27 +826,48 @@ type HeteroRow struct {
 // RunHetero compares regional vs local-only BFM detection on the
 // Heavy-west / Light-east split chip.
 func RunHetero(sc Scale) ([]HeteroRow, error) {
+	return RunHeteroCtx(context.Background(), sc, SweepOptions{})
+}
+
+// RunHeteroCtx is RunHetero on the parallel sweep engine.
+func RunHeteroCtx(ctx context.Context, sc Scale, opts SweepOptions) ([]HeteroRow, error) {
 	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
-	var rows []HeteroRow
+	var pts []runner.Point[HeteroRow]
 	for _, localOnly := range []bool{false, true} {
-		cfg := mustDesign("4NT-128b-PG")
-		cfg.AppTraffic = true
-		cfg.LocalOnly = localOnly
 		label := "regional"
 		if localOnly {
 			label = "local-only"
 		}
-		cfg.Name = "4NT-128b-PG-" + label
-		sim := mustSim(cfg)
-		if _, err := sim.UseSplitMix("Heavy", "Light"); err != nil {
-			return nil, err
-		}
-		sim.Run(sc.Warmup)
-		sim.StartMeasure()
-		sim.Run(sc.Measure)
-		rows = append(rows, HeteroRow{Variant: label, Results: sim.StopMeasure()})
+		pts = append(pts, runner.Point[HeteroRow]{
+			Label:  "hetero/" + label,
+			Cycles: sc.Warmup + sc.Measure,
+			Run: func(ctx context.Context) (HeteroRow, error) {
+				cfg, err := Design("4NT-128b-PG")
+				if err != nil {
+					return HeteroRow{}, err
+				}
+				cfg.AppTraffic = true
+				cfg.LocalOnly = localOnly
+				cfg.Name = "4NT-128b-PG-" + label
+				sim, err := New(cfg)
+				if err != nil {
+					return HeteroRow{}, err
+				}
+				if _, err := sim.UseSplitMix("Heavy", "Light"); err != nil {
+					return HeteroRow{}, err
+				}
+				if err := sim.RunCtx(ctx, sc.Warmup); err != nil {
+					return HeteroRow{}, err
+				}
+				sim.StartMeasure()
+				if err := sim.RunCtx(ctx, sc.Measure); err != nil {
+					return HeteroRow{}, err
+				}
+				return HeteroRow{Variant: label, Results: sim.StopMeasure()}, nil
+			},
+		})
 	}
-	return rows, nil
+	return sweep(ctx, pts, opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -661,7 +891,13 @@ type Headline struct {
 
 // RunHeadline computes the headline numbers from the Figure 8/9 matrix.
 func RunHeadline(sc Scale) (Headline, error) {
-	rows, err := RunAppWorkloads(sc, nil, []string{"1NT-512b", "4NT-128b-PG"})
+	return RunHeadlineCtx(context.Background(), sc, SweepOptions{})
+}
+
+// RunHeadlineCtx is RunHeadline with the underlying Figure 8/9 matrix
+// executed on the parallel sweep engine.
+func RunHeadlineCtx(ctx context.Context, sc Scale, opts SweepOptions) (Headline, error) {
+	rows, err := RunAppWorkloadsCtx(ctx, sc, nil, []string{"1NT-512b", "4NT-128b-PG"}, opts)
 	if err != nil {
 		return Headline{}, err
 	}

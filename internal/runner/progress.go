@@ -1,0 +1,196 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind discriminates progress events.
+type EventKind int
+
+// The three event kinds, in a point's lifecycle order.
+const (
+	// PointStart fires when a worker picks the point up.
+	PointStart EventKind = iota
+	// PointDone fires when the point completes successfully.
+	PointDone
+	// PointError fires when the point returns an error, panics, or
+	// times out.
+	PointError
+)
+
+// Event is one progress notification. Events are serialized: the engine
+// never delivers two concurrently, so implementations need no locking
+// of their own.
+type Event struct {
+	Kind  EventKind
+	Index int
+	Label string
+	// Wall is the point's execution time (finish events only).
+	Wall time.Duration
+	// Cycles is the point's simulated-cycle count.
+	Cycles int64
+	// Err is set on PointError events.
+	Err error
+	// Done counts completed points (success or failure) after this
+	// event; Total is the sweep size.
+	Done, Total int
+}
+
+// Progress receives sweep progress events.
+type Progress interface {
+	Event(Event)
+}
+
+// ProgressFunc adapts a function to the Progress interface.
+type ProgressFunc func(Event)
+
+// Event implements Progress.
+func (f ProgressFunc) Event(e Event) { f(e) }
+
+// emitter serializes progress delivery and maintains the done counter.
+type emitter struct {
+	mu    sync.Mutex
+	p     Progress
+	total int
+	done  int
+}
+
+func (em *emitter) start(index int, label string) {
+	if em.p == nil {
+		return
+	}
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.p.Event(Event{Kind: PointStart, Index: index, Label: label, Done: em.done, Total: em.total})
+}
+
+// finishOutcome reports a completed outcome. It is a free function
+// because methods cannot be generic.
+func finishOutcome[T any](em *emitter, o Outcome[T]) {
+	if em.p == nil {
+		em.mu.Lock()
+		em.done++
+		em.mu.Unlock()
+		return
+	}
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.done++
+	kind := PointDone
+	if o.Err != nil {
+		kind = PointError
+	}
+	em.p.Event(Event{
+		Kind: kind, Index: o.Index, Label: o.Label,
+		Wall: o.Wall, Cycles: o.Cycles, Err: o.Err,
+		Done: em.done, Total: em.total,
+	})
+}
+
+// Console is a Progress implementation for terminals: a single live
+// status line by default, or one log line per point in verbose mode,
+// plus a Finish summary. Write it to stderr so result tables on stdout
+// stay machine-readable.
+type Console struct {
+	mu      sync.Mutex
+	w       io.Writer
+	verbose bool
+	started time.Time
+	lineLen int
+	failed  int
+	cycles  int64
+	done    int
+	total   int
+}
+
+// NewConsole returns a Console writing to w. In verbose mode every
+// point logs a line on completion; otherwise a single \r-rewritten
+// status line tracks the sweep.
+func NewConsole(w io.Writer, verbose bool) *Console {
+	return &Console{w: w, verbose: verbose, started: time.Now()}
+}
+
+// Event implements Progress.
+func (c *Console) Event(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total = e.Total
+	switch e.Kind {
+	case PointStart:
+		if !c.verbose {
+			c.status(fmt.Sprintf("[%d/%d] %s", e.Done, e.Total, e.Label))
+		}
+	case PointDone:
+		c.done = e.Done
+		c.cycles += e.Cycles
+		if c.verbose {
+			rate := 0.0
+			if e.Wall > 0 {
+				rate = float64(e.Cycles) / e.Wall.Seconds()
+			}
+			fmt.Fprintf(c.w, "[%d/%d] %-32s %8d cyc  %10v  %12.0f cyc/s\n",
+				e.Done, e.Total, e.Label, e.Cycles, e.Wall.Round(time.Microsecond), rate)
+		} else {
+			c.status(fmt.Sprintf("[%d/%d] %s (%v)", e.Done, e.Total, e.Label, e.Wall.Round(time.Millisecond)))
+		}
+	case PointError:
+		c.done = e.Done
+		c.failed++
+		c.clear()
+		fmt.Fprintf(c.w, "[%d/%d] %s FAILED: %v\n", e.Done, e.Total, e.Label, firstLine(e.Err))
+	}
+}
+
+// Finish clears the live line and prints the end-of-run summary. It is
+// a no-op when no sweep point ever reported (e.g. the experiment failed
+// before its sweep started).
+func (c *Console) Finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.total == 0 {
+		return
+	}
+	c.clear()
+	s := Summary{
+		Points:    c.done - c.failed,
+		Failures:  c.failed,
+		SimCycles: c.cycles,
+		Wall:      time.Since(c.started),
+	}
+	fmt.Fprintln(c.w, s.String())
+}
+
+// status rewrites the live progress line in place.
+func (c *Console) status(line string) {
+	pad := ""
+	if n := c.lineLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(c.w, "\r%s%s", line, pad)
+	c.lineLen = len(line)
+}
+
+// clear erases the live progress line.
+func (c *Console) clear() {
+	if c.lineLen == 0 {
+		return
+	}
+	fmt.Fprintf(c.w, "\r%s\r", strings.Repeat(" ", c.lineLen))
+	c.lineLen = 0
+}
+
+// firstLine truncates multi-line errors (panic stacks) for the live log.
+func firstLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i] + " ..."
+	}
+	return msg
+}

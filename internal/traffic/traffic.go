@@ -80,6 +80,11 @@ func (BitComplement) Dest(rng *sim.RNG, src, rows, cols int) int {
 // Name implements Pattern.
 func (BitComplement) Name() string { return "bit-complement" }
 
+// PatternNames lists the canonical pattern names PatternByName accepts.
+func PatternNames() []string {
+	return []string{"uniform-random", "transpose", "bit-complement"}
+}
+
 // PatternByName returns the pattern with the given conventional name.
 func PatternByName(name string) (Pattern, error) {
 	switch name {
@@ -90,7 +95,7 @@ func PatternByName(name string) (Pattern, error) {
 	case "bit-complement", "bitcomp":
 		return BitComplement{}, nil
 	default:
-		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+		return nil, fmt.Errorf("traffic: unknown pattern %q (valid: %v)", name, PatternNames())
 	}
 }
 

@@ -1,6 +1,7 @@
 package catnap
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -221,6 +222,34 @@ func (s *Simulator) Run(n int64) {
 	}
 }
 
+// ctxCheckCycles is how often RunCtx polls for cancellation. Checking
+// every few thousand simulated cycles keeps the overhead unmeasurable
+// (one channel poll per ~milliseconds of simulation) while bounding the
+// cancellation latency of a sweep point.
+const ctxCheckCycles = 4096
+
+// RunCtx advances n cycles with cooperative cancellation: ctx is checked
+// every ctxCheckCycles simulated cycles, and the run stops early with
+// ctx.Err() when it is cancelled. A nil or Background context behaves
+// exactly like Run.
+func (s *Simulator) RunCtx(ctx context.Context, n int64) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.Run(n)
+		return nil
+	}
+	for i := int64(0); i < n; i++ {
+		if i%ctxCheckCycles == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		s.Step()
+	}
+	return nil
+}
+
 // StartMeasure opens a measurement window: all Results quantities are
 // deltas from this point.
 func (s *Simulator) StartMeasure() {
@@ -322,13 +351,42 @@ func (s *Simulator) StopMeasure() Results {
 }
 
 // RunSynthetic is the common open-loop experiment shape: attach pattern +
-// schedule, warm up, measure.
+// schedule, warm up, measure. It is RunSyntheticCtx with a background
+// context (which never cancels, so no error can occur).
 func (s *Simulator) RunSynthetic(pattern traffic.Pattern, sched traffic.Schedule, warmup, measure int64) Results {
+	res, _ := s.RunSyntheticCtx(context.Background(), pattern, sched, warmup, measure)
+	return res
+}
+
+// RunSyntheticCtx is RunSynthetic with cooperative cancellation: the run
+// stops between cycles (see RunCtx) when ctx is cancelled, returning
+// ctx's error and zero Results.
+func (s *Simulator) RunSyntheticCtx(ctx context.Context, pattern traffic.Pattern, sched traffic.Schedule, warmup, measure int64) (Results, error) {
 	s.UseSynthetic(pattern, sched, 0)
-	s.Run(warmup)
+	if err := s.RunCtx(ctx, warmup); err != nil {
+		return Results{}, err
+	}
 	s.StartMeasure()
-	s.Run(measure)
-	return s.StopMeasure()
+	if err := s.RunCtx(ctx, measure); err != nil {
+		return Results{}, err
+	}
+	return s.StopMeasure(), nil
+}
+
+// RunApp is the common closed-loop experiment shape: attach the named
+// Table 3 mix, warm up, measure. Cancellation follows RunCtx.
+func (s *Simulator) RunApp(ctx context.Context, mixName string, warmup, measure int64) (Results, error) {
+	if _, err := s.UseMix(mixName); err != nil {
+		return Results{}, err
+	}
+	if err := s.RunCtx(ctx, warmup); err != nil {
+		return Results{}, err
+	}
+	s.StartMeasure()
+	if err := s.RunCtx(ctx, measure); err != nil {
+		return Results{}, err
+	}
+	return s.StopMeasure(), nil
 }
 
 // pct returns 100*a/b, or 0 when b is 0.
