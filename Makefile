@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench experiments quick-experiments fmt vet clean
+.PHONY: all check build test race bench bench-telemetry experiments quick-experiments fmt vet clean
 
 all: check
 
-# check is the default verification path: build, tests, vet, and the
-# full suite under the race detector (the sweep engine and the parallel
-# subnet mode both rely on race-clean concurrency).
-check: build test race
+# check is the default verification path: build, tests, vet, the full
+# suite under the race detector (the sweep engine and the parallel
+# subnet mode both rely on race-clean concurrency), and the telemetry
+# zero-overhead guard.
+check: build test race bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,13 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-telemetry times a fixed run with telemetry absent / built-but-
+# detached / fully attached (min-of-5, interleaved), writes
+# BENCH_telemetry.json, and fails if the detached arm costs >2% over
+# base — the "free when off" guard.
+bench-telemetry:
+	TELEMETRY_GUARD=1 $(GO) test -run TestTelemetryOverheadGuard -count=1 .
 
 # Regenerate every table/figure at full scale into results/ (slow: ~1h).
 experiments:
@@ -45,4 +53,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_telemetry.json

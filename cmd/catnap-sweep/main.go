@@ -8,6 +8,10 @@
 // so the result table is byte-identical at any worker count. Progress
 // and the end-of-run summary go to stderr (-v logs every point).
 //
+// Cycle-level telemetry is off by default; -metrics/-events attach one
+// labeled collector per load (see internal/telemetry for the schema)
+// and also record sweep-point lifecycle events.
+//
 // Example:
 //
 //	catnap-sweep -design 4NT-128b-PG -pattern transpose -loads 0.02,0.05,0.1,0.2
@@ -24,20 +28,24 @@ import (
 
 	catnap "github.com/catnap-noc/catnap"
 	"github.com/catnap-noc/catnap/internal/runner"
+	"github.com/catnap-noc/catnap/internal/telemetry"
+	"github.com/catnap-noc/catnap/internal/trace"
 	"github.com/catnap-noc/catnap/internal/traffic"
 )
 
 var (
-	design    = flag.String("design", "4NT-128b-PG", "network design (see 'catnap designs')")
-	pattern   = flag.String("pattern", "uniform-random", "traffic pattern: uniform-random|transpose|bit-complement")
-	loadsStr  = flag.String("loads", "0.02,0.05,0.10,0.20,0.30,0.40,0.50", "comma-separated offered loads (packets/node/cycle)")
-	warmup    = flag.Int64("warmup", 3000, "warmup cycles per point")
-	measure   = flag.Int64("measure", 12000, "measurement cycles per point")
-	seed      = flag.Uint64("seed", 1, "experiment seed")
-	metricTh  = flag.Float64("threshold", 0, "override the congestion metric threshold (0 = default)")
-	traceFile = flag.String("trace", "", "write a JSONL per-packet trace to this file (single-load runs)")
-	jobs      = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
-	verbose   = flag.Bool("v", false, "log every sweep point as it completes")
+	design      = flag.String("design", "4NT-128b-PG", "network design (see 'catnap designs')")
+	pattern     = flag.String("pattern", "uniform-random", "traffic pattern: uniform-random|transpose|bit-complement")
+	loadsStr    = flag.String("loads", "0.02,0.05,0.10,0.20,0.30,0.40,0.50", "comma-separated offered loads (packets/node/cycle)")
+	warmup      = flag.Int64("warmup", 3000, "warmup cycles per point")
+	measure     = flag.Int64("measure", 12000, "measurement cycles per point")
+	seed        = flag.Uint64("seed", 1, "experiment seed")
+	metricTh    = flag.Float64("threshold", 0, "override the congestion metric threshold (0 = default)")
+	traceFile   = flag.String("trace", "", "write a JSONL per-packet trace to this file, gzipped if it ends in .gz (single-load runs)")
+	metricsFile = flag.String("metrics", "", "write telemetry metrics to this file (JSONL; CSV if it ends in .csv), one labeled collector per load")
+	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, point lifecycle) to this JSONL file")
+	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
 )
 
 func main() {
@@ -59,10 +67,26 @@ func main() {
 		fail(fmt.Errorf("-trace records one run's packets; use a single -loads value"))
 	}
 
+	var rec *telemetry.Recorder
+	var eventsOut *os.File
+	if *metricsFile != "" || *eventsFile != "" {
+		topts := telemetry.Options{}
+		if *eventsFile != "" {
+			f, err := os.Create(*eventsFile)
+			if err != nil {
+				fail(err)
+			}
+			eventsOut = f
+			topts.Events = f
+		}
+		rec = telemetry.NewRecorder(topts)
+	}
+
 	pts := make([]runner.Point[catnap.Results], len(loads))
 	for i, load := range loads {
+		label := fmt.Sprintf("%s @ %.3f", *design, load)
 		pts[i] = runner.Point[catnap.Results]{
-			Label:  fmt.Sprintf("%s @ %.3f", *design, load),
+			Label:  label,
 			Cycles: *warmup + *measure,
 			Run: func(ctx context.Context) (catnap.Results, error) {
 				cfg, err := catnap.Design(*design)
@@ -77,13 +101,20 @@ func main() {
 				if err != nil {
 					return catnap.Results{}, err
 				}
+				if rec != nil {
+					sim.EnableTelemetry(rec, label)
+				}
 				var flushTrace func() error
 				if *traceFile != "" {
 					f, err := os.Create(*traceFile)
 					if err != nil {
 						return catnap.Results{}, err
 					}
-					tw := sim.EnableTrace(f)
+					var topts []trace.Option
+					if strings.HasSuffix(*traceFile, ".gz") {
+						topts = append(topts, trace.WithGzip())
+					}
+					tw := sim.EnableTrace(f, topts...)
 					flushTrace = tw.Close
 				}
 				res, err := sim.RunSyntheticCtx(ctx, pat, traffic.Constant(load), *warmup, *measure)
@@ -101,10 +132,19 @@ func main() {
 	}
 
 	prog := runner.NewConsole(os.Stderr, *verbose)
-	results, err := runner.Values(runner.Run(ctx, pts, runner.Options{Jobs: *jobs, Progress: prog}))
+	var sweepProg runner.Progress = prog
+	if rec != nil {
+		sweepProg = runner.Tee(prog, rec.Progress())
+	}
+	results, err := runner.Values(runner.Run(ctx, pts, runner.Options{Jobs: *jobs, Progress: sweepProg}))
 	prog.Finish()
 	if err != nil {
 		fail(err)
+	}
+	if rec != nil {
+		if err := exportTelemetry(rec, eventsOut); err != nil {
+			fail(err)
+		}
 	}
 
 	fmt.Printf("# design=%s pattern=%s warmup=%d measure=%d seed=%d\n",
@@ -140,6 +180,35 @@ func parseLoads(s string) ([]float64, error) {
 		return nil, fmt.Errorf("no loads given")
 	}
 	return out, nil
+}
+
+// exportTelemetry flushes the streaming event sink and writes the
+// -metrics file once the sweep has completed.
+func exportTelemetry(rec *telemetry.Recorder, eventsOut *os.File) error {
+	if err := rec.Flush(); err != nil {
+		return err
+	}
+	if eventsOut != nil {
+		if err := eventsOut.Close(); err != nil {
+			return err
+		}
+	}
+	if *metricsFile == "" {
+		return nil
+	}
+	f, err := os.Create(*metricsFile)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(*metricsFile, ".csv") {
+		err = rec.WriteMetricsCSV(f)
+	} else {
+		err = rec.WriteMetricsJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fail(err error) {

@@ -16,14 +16,24 @@
 // tables to stdout. Interrupting (Ctrl-C) cancels the sweep between
 // simulated cycles. Results are bit-identical at any -jobs value.
 //
+// Cycle-level telemetry (see internal/telemetry) is off by default and
+// free when off; -metrics and -events attach a recorder and export what
+// it saw after the run:
+//
+//	catnap -experiment fig12 -metrics m.jsonl -events e.jsonl
+//
 // Flags:
 //
-//	-quick     reduced cycle counts (fast smoke run)
-//	-csv       emit CSV instead of aligned text
-//	-pattern   traffic pattern for fig11 (uniform-random|transpose|bit-complement)
-//	-jobs      parallel sweep workers (0 = GOMAXPROCS)
-//	-timeout   per-point wall-clock limit (0 = none)
-//	-v         log every sweep point as it completes
+//	-experiment  experiment name (alternative to the positional argument)
+//	-quick       reduced cycle counts (fast smoke run)
+//	-csv         emit CSV instead of aligned text
+//	-pattern     traffic pattern for fig11 (uniform-random|transpose|bit-complement)
+//	-jobs        parallel sweep workers (0 = GOMAXPROCS)
+//	-timeout     per-point wall-clock limit (0 = none)
+//	-metrics     write telemetry metrics to this file (JSONL; CSV if it ends in .csv)
+//	-events      stream telemetry events to this JSONL file
+//	-window      telemetry/fig12 series window in cycles (0 = the paper's 50)
+//	-v           log every sweep point as it completes
 package main
 
 import (
@@ -37,15 +47,20 @@ import (
 
 	catnap "github.com/catnap-noc/catnap"
 	"github.com/catnap-noc/catnap/internal/runner"
+	"github.com/catnap-noc/catnap/internal/telemetry"
 )
 
 var (
-	quick   = flag.Bool("quick", false, "reduced cycle counts for a fast smoke run")
-	csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-	pattern = flag.String("pattern", "uniform-random", "traffic pattern for fig11")
-	jobs    = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
-	timeout = flag.Duration("timeout", 0, "per-point wall-clock limit (0 = none)")
-	verbose = flag.Bool("v", false, "log every sweep point as it completes")
+	experimentF = flag.String("experiment", "", "experiment name (alternative to the positional argument)")
+	quick       = flag.Bool("quick", false, "reduced cycle counts for a fast smoke run")
+	csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	pattern     = flag.String("pattern", "uniform-random", "traffic pattern for fig11")
+	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	timeout     = flag.Duration("timeout", 0, "per-point wall-clock limit (0 = none)")
+	metricsFile = flag.String("metrics", "", "write telemetry metrics to this file (JSONL; CSV if it ends in .csv)")
+	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, sweep lifecycle) to this JSONL file")
+	window      = flag.Int64("window", 0, "telemetry/fig12 series window in cycles (0 = the paper's 50)")
+	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
 )
 
 func main() {
@@ -55,7 +70,17 @@ func main() {
 	defer stop()
 	var err error
 	switch flag.NArg() {
+	case 0:
+		if *experimentF == "" {
+			usage()
+			os.Exit(2)
+		}
+		err = run(ctx, *experimentF)
 	case 1:
+		if *experimentF != "" && *experimentF != flag.Arg(0) {
+			err = fmt.Errorf("both -experiment %s and argument %s given", *experimentF, flag.Arg(0))
+			break
+		}
 		err = run(ctx, flag.Arg(0))
 	case 2:
 		if flag.Arg(0) != "ablation" {
@@ -95,15 +120,25 @@ func run(ctx context.Context, name string) error {
 		return w.Flush()
 	}
 
+	rec, finish, err := telemetryRecorder()
+	if err != nil {
+		return err
+	}
+
 	prog := runner.NewConsole(os.Stderr, *verbose)
-	res, err := catnap.RunExperiment(ctx, name, catnap.ExperimentOptions{
-		Scale:   scale(),
-		Loads:   loads(),
-		Pattern: *pattern,
-		Sweep:   catnap.SweepOptions{Jobs: *jobs, Timeout: *timeout, Progress: prog},
+	res, err := catnap.RunExperiment(ctx, name, catnap.ExperimentOpts{
+		Scale:     scale(),
+		Loads:     loads(),
+		Pattern:   *pattern,
+		Window:    *window,
+		Sweep:     catnap.SweepOptions{Jobs: *jobs, Timeout: *timeout, Progress: prog},
+		Telemetry: rec,
 	})
 	prog.Finish()
 	if err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
 		return err
 	}
 	table(res.Header, res.Rows)
@@ -111,6 +146,53 @@ func run(ctx context.Context, name string) error {
 		fmt.Println("\n" + res.Note)
 	}
 	return nil
+}
+
+// telemetryRecorder builds the recorder selected by -metrics/-events
+// (nil when neither is set — the zero-overhead path) plus a finish
+// function that flushes the event stream and writes the metrics file.
+func telemetryRecorder() (*telemetry.Recorder, func() error, error) {
+	if *metricsFile == "" && *eventsFile == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var eventsOut *os.File
+	topts := telemetry.Options{Window: *window}
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		eventsOut = f
+		topts.Events = f
+	}
+	rec := telemetry.NewRecorder(topts)
+	finish := func() error {
+		if err := rec.Flush(); err != nil {
+			return err
+		}
+		if eventsOut != nil {
+			if err := eventsOut.Close(); err != nil {
+				return err
+			}
+		}
+		if *metricsFile == "" {
+			return nil
+		}
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(*metricsFile, ".csv") {
+			err = rec.WriteMetricsCSV(f)
+		} else {
+			err = rec.WriteMetricsJSONL(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return rec, finish, nil
 }
 
 // runAblation renders one design-choice study around the Catnap

@@ -4,6 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+
+	"github.com/catnap-noc/catnap/internal/runner"
+	"github.com/catnap-noc/catnap/internal/telemetry"
+	"github.com/catnap-noc/catnap/internal/traffic"
+	"github.com/catnap-noc/catnap/internal/workload"
 )
 
 // This file is the unified experiment API: a registry of every canned
@@ -24,21 +29,103 @@ type ExperimentInfo struct {
 	Kind string
 }
 
-// ExperimentOptions parameterizes RunExperiment. The zero value selects
-// every experiment's own defaults (paper-scale cycle counts, the
-// standard load sweep, uniform-random traffic, GOMAXPROCS workers).
-type ExperimentOptions struct {
+// ExperimentOpts parameterizes RunExperiment: one validated options
+// struct shared by every experiment, replacing the per-figure parameter
+// lists. The zero value selects every experiment's own defaults
+// (paper-scale cycle counts, the standard load sweep, uniform-random
+// traffic, GOMAXPROCS workers, telemetry off). Experiments ignore the
+// fields they have no use for.
+type ExperimentOpts struct {
 	// Scale overrides the cycle counts; zero fields select the
 	// experiment's defaults.
 	Scale Scale
-	// Loads overrides the offered-load sweep where applicable.
+	// Loads overrides the offered-load sweep where applicable. Each
+	// load is a fraction in (0, 1] packets/node/cycle.
 	Loads []float64
 	// Pattern selects the traffic pattern for experiments that take one
 	// (fig11); empty means uniform-random.
 	Pattern string
+	// Mixes restricts the application-workload experiments (fig8, fig9)
+	// to the named Table 3 mixes; nil means all four.
+	Mixes []string
+	// Designs restricts the application-workload experiments to the
+	// named registered designs; nil means the experiment's own list.
+	Designs []string
+	// Total is the simulated length of the time-series experiment
+	// (fig12) in cycles; 0 means the paper's 3000.
+	Total int64
+	// Window is the time-series sampling window (fig12) and the
+	// telemetry series window, in cycles; 0 means the paper's 50.
+	Window int64
 	// Sweep configures the parallel engine (worker count, per-point
 	// timeout, progress reporting).
 	Sweep SweepOptions
+	// Telemetry, when non-nil, records cycle-level metrics and events
+	// from the experiment's simulations (single-simulation experiments
+	// attach a collector; sweeps record point lifecycle events).
+	Telemetry *telemetry.Recorder
+}
+
+// ExperimentOptions is the pre-consolidation name of ExperimentOpts.
+//
+// Deprecated: use ExperimentOpts.
+type ExperimentOptions = ExperimentOpts
+
+// Validate checks every field, naming the offending field and the valid
+// range in the error. RunExperiment calls it; direct users of the
+// unexported runners get the same check there.
+func (o ExperimentOpts) Validate() error {
+	if o.Scale.Warmup < 0 {
+		return fmt.Errorf("catnap: ExperimentOpts.Scale.Warmup = %d, want >= 0 cycles", o.Scale.Warmup)
+	}
+	if o.Scale.Measure < 0 {
+		return fmt.Errorf("catnap: ExperimentOpts.Scale.Measure = %d, want >= 0 cycles", o.Scale.Measure)
+	}
+	for i, l := range o.Loads {
+		if l <= 0 || l > 1 {
+			return fmt.Errorf("catnap: ExperimentOpts.Loads[%d] = %g, want a load in (0, 1] packets/node/cycle", i, l)
+		}
+	}
+	if o.Pattern != "" {
+		if _, err := traffic.PatternByName(o.Pattern); err != nil {
+			return fmt.Errorf("catnap: ExperimentOpts.Pattern: %w", err)
+		}
+	}
+	for i, m := range o.Mixes {
+		if _, err := workload.MixByName(m); err != nil {
+			return fmt.Errorf("catnap: ExperimentOpts.Mixes[%d]: %w", i, err)
+		}
+	}
+	for i, d := range o.Designs {
+		if _, err := Design(d); err != nil {
+			return fmt.Errorf("catnap: ExperimentOpts.Designs[%d]: %w", i, err)
+		}
+	}
+	if o.Total < 0 {
+		return fmt.Errorf("catnap: ExperimentOpts.Total = %d, want >= 0 cycles", o.Total)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("catnap: ExperimentOpts.Window = %d, want >= 0 cycles", o.Window)
+	}
+	if o.Window > 0 && o.Total > 0 && o.Window > o.Total {
+		return fmt.Errorf("catnap: ExperimentOpts.Window = %d, want <= Total (%d cycles)", o.Window, o.Total)
+	}
+	if o.Sweep.Jobs < 0 {
+		return fmt.Errorf("catnap: ExperimentOpts.Sweep.Jobs = %d, want >= 0 workers (0 = GOMAXPROCS)", o.Sweep.Jobs)
+	}
+	if o.Sweep.Timeout < 0 {
+		return fmt.Errorf("catnap: ExperimentOpts.Sweep.Timeout = %v, want >= 0 (0 = no limit)", o.Sweep.Timeout)
+	}
+	return nil
+}
+
+// withTelemetry returns a copy of o whose sweep progress also feeds the
+// telemetry recorder's event log.
+func (o ExperimentOpts) withTelemetry() ExperimentOpts {
+	if o.Telemetry != nil {
+		o.Sweep.Progress = runner.Tee(o.Sweep.Progress, o.Telemetry.Progress())
+	}
+	return o
 }
 
 // ExperimentResult is one experiment's outcome: the typed rows plus a
@@ -89,10 +176,17 @@ func ExperimentNames() []string {
 	return names
 }
 
-// RunExperiment executes the named experiment. Unknown names error with
+// RunExperiment executes the named experiment. Options are validated up
+// front (the error names the offending field); unknown names error with
 // the valid choices; cancellation of ctx stops the underlying sweep
-// between simulated cycles.
-func RunExperiment(ctx context.Context, name string, opts ExperimentOptions) (*ExperimentResult, error) {
+// between simulated cycles. When opts.Telemetry is set, sweep lifecycle
+// events and (for experiments that instrument a simulation) cycle-level
+// metrics land in the recorder.
+func RunExperiment(ctx context.Context, name string, opts ExperimentOpts) (*ExperimentResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withTelemetry()
 	for _, e := range experimentList {
 		if e.info.Name == name {
 			return e.run(ctx, opts)
@@ -107,7 +201,7 @@ func fcell(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 func init() {
 	registerExperiment(ExperimentInfo{"fig2", "performance of 128b vs 512b Single-NoC on Light/Heavy workloads", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows, err := RunFig2(opts.Scale)
+			rows, err := runFig2(opts)
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +234,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig6", "throughput & latency of 1/2/4/8-subnet designs (uniform random)", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pts, err := RunFig6Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			pts, err := runFig6(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -177,7 +271,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig8", "network power and normalized performance, app workloads", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows, err := RunAppWorkloadsCtx(ctx, opts.Scale, nil, nil, opts.Sweep)
+			rows, err := runAppWorkloads(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +293,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig9", "compensated sleep cycles, app workloads", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows, err := RunAppWorkloadsCtx(ctx, opts.Scale, nil, nil, opts.Sweep)
+			rows, err := runAppWorkloads(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -217,7 +311,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig10", "power/CSC/throughput/latency vs offered load, with/without PG", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pts, err := RunFig10Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			pts, err := runFig10(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -235,11 +329,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig11", "congestion-metric policy comparison (takes a traffic pattern)", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pattern := opts.Pattern
-			if pattern == "" {
-				pattern = "uniform-random"
-			}
-			pts, err := RunFig11Ctx(ctx, opts.Scale, pattern, opts.Loads, opts.Sweep)
+			pts, err := runFig11(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -257,7 +347,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig12", "bursty-traffic ramp-up and subnet utilization over time", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pts := RunFig12(0, 0)
+			pts := runFig12(opts)
 			res := &ExperimentResult{
 				Name:   "fig12",
 				Header: []string{"cycle", "offered", "accepted", "subnet0", "subnet1", "subnet2", "subnet3"},
@@ -276,7 +366,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig13", "injection-rate threshold sweep (uniform random + transpose)", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pts, err := RunFig13Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			pts, err := runFig13(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -294,7 +384,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig14", "64-core study: CSC and latency", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pts, err := RunFig14Ctx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			pts, err := runFig14(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -312,7 +402,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"headline", "the paper's headline: 44% power saving at ~5% performance cost", "summary"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			h, err := RunHeadlineCtx(ctx, opts.Scale, opts.Sweep)
+			h, err := runHeadline(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -332,7 +422,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"profiles", "per-benchmark characterization of all 35 application profiles", "study"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows, err := RunProfilesCtx(ctx, opts.Scale, opts.Sweep)
+			rows, err := runProfiles(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -349,7 +439,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"hetero", "Heavy-west/Light-east split chip: regional vs local detection", "study"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows, err := RunHeteroCtx(ctx, opts.Scale, opts.Sweep)
+			rows, err := runHetero(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -370,7 +460,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"topology", "Catnap on mesh vs torus vs flattened butterfly (§8 future work)", "study"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			pts, err := RunTopologyCtx(ctx, opts.Scale, opts.Loads, opts.Sweep)
+			pts, err := runTopology(ctx, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -141,8 +141,15 @@ type Fig2Row struct {
 }
 
 // RunFig2 reproduces Figure 2.
+//
+// Deprecated: use RunExperiment(ctx, "fig2", opts).
 func RunFig2(sc Scale) ([]Fig2Row, error) {
-	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	return runFig2(ExperimentOpts{Scale: sc})
+}
+
+// runFig2 is the fig2 implementation over consolidated options.
+func runFig2(o ExperimentOpts) ([]Fig2Row, error) {
+	sc := o.Scale.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
 	var rows []Fig2Row
 	for _, mix := range []string{"Light", "Heavy"} {
 		var base float64
@@ -195,13 +202,23 @@ var Fig6Designs = []string{"1NT-512b", "2NT-256b", "4NT-128b", "8NT-64b"}
 
 // RunFig6 sweeps uniform-random load over the Figure 6 designs (no power
 // gating, round-robin selection — the §5 characterization).
+//
+// Deprecated: use RunExperiment(ctx, "fig6", opts).
 func RunFig6(sc Scale, loads []float64) []Fig6Point {
 	return mustSweep(RunFig6Ctx(context.Background(), sc, loads, SweepOptions{}))
 }
 
 // RunFig6Ctx is RunFig6 on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "fig6", opts).
 func RunFig6Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig6Point, error) {
-	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	return runFig6(ctx, ExperimentOpts{Scale: sc, Loads: loads, Sweep: opts})
+}
+
+// runFig6 is the fig6 implementation over consolidated options.
+func runFig6(ctx context.Context, o ExperimentOpts) ([]Fig6Point, error) {
+	sc := o.Scale.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	loads := o.Loads
 	if loads == nil {
 		loads = DefaultLoads
 	}
@@ -225,7 +242,7 @@ func RunFig6Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOption
 			})
 		}
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -277,16 +294,27 @@ var AppWorkloadNames = []string{"Light", "Medium-Light", "Medium-Heavy", "Heavy"
 
 // RunAppWorkloads runs every (mix, design) pair of Figures 8/9 and
 // returns the full matrix. RunFig8/RunFig9/RunHeadline all derive from it.
+//
+// Deprecated: use RunExperiment(ctx, "fig8", opts) (or "fig9").
 func RunAppWorkloads(sc Scale, mixes, designs []string) ([]AppRow, error) {
 	return RunAppWorkloadsCtx(context.Background(), sc, mixes, designs, SweepOptions{})
 }
 
 // RunAppWorkloadsCtx is RunAppWorkloads on the parallel sweep engine.
-// The (mix, design) points are independent; normalization against the
-// 1NT-512b baseline happens after the sweep (with a dedicated baseline
-// point per mix appended when the caller's design list omits it).
+//
+// Deprecated: use RunExperiment(ctx, "fig8", opts) (or "fig9").
 func RunAppWorkloadsCtx(ctx context.Context, sc Scale, mixes, designs []string, opts SweepOptions) ([]AppRow, error) {
-	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	return runAppWorkloads(ctx, ExperimentOpts{Scale: sc, Mixes: mixes, Designs: designs, Sweep: opts})
+}
+
+// runAppWorkloads is the fig8/fig9 implementation over consolidated
+// options. The (mix, design) points are independent; normalization
+// against the 1NT-512b baseline happens after the sweep (with a
+// dedicated baseline point per mix appended when the caller's design
+// list omits it).
+func runAppWorkloads(ctx context.Context, o ExperimentOpts) ([]AppRow, error) {
+	sc := o.Scale.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	mixes, designs := o.Mixes, o.Designs
 	if mixes == nil {
 		mixes = AppWorkloadNames
 	}
@@ -334,7 +362,7 @@ func RunAppWorkloadsCtx(ctx context.Context, sc Scale, mixes, designs []string, 
 			pts = append(pts, appPoint(mix, "1NT-512b"))
 		}
 	}
-	vals, err := sweep(ctx, pts, opts)
+	vals, err := sweep(ctx, pts, o.Sweep)
 	if err != nil {
 		return nil, err
 	}
@@ -370,13 +398,23 @@ type Fig10Point struct {
 var Fig10Designs = []string{"1NT-512b", "4NT-128b", "1NT-512b-PG", "4NT-128b-PG"}
 
 // RunFig10 sweeps uniform-random load over the four designs.
+//
+// Deprecated: use RunExperiment(ctx, "fig10", opts).
 func RunFig10(sc Scale, loads []float64) []Fig10Point {
 	return mustSweep(RunFig10Ctx(context.Background(), sc, loads, SweepOptions{}))
 }
 
 // RunFig10Ctx is RunFig10 on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "fig10", opts).
 func RunFig10Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig10Point, error) {
-	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	return runFig10(ctx, ExperimentOpts{Scale: sc, Loads: loads, Sweep: opts})
+}
+
+// runFig10 is the fig10 implementation over consolidated options.
+func runFig10(ctx context.Context, o ExperimentOpts) ([]Fig10Point, error) {
+	sc := o.Scale.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	loads := o.Loads
 	if loads == nil {
 		loads = DefaultLoads
 	}
@@ -404,7 +442,7 @@ func RunFig10Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptio
 			})
 		}
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -453,17 +491,31 @@ type Fig11Point struct {
 // RunFig11 sweeps one traffic pattern over the six policies. patternName
 // is "uniform-random", "transpose" or "bit-complement" (panels a–c); the
 // CSC column doubles as panel (d) for the RR and BFM rows.
+//
+// Deprecated: use RunExperiment(ctx, "fig11", opts).
 func RunFig11(sc Scale, patternName string, loads []float64) ([]Fig11Point, error) {
 	return RunFig11Ctx(context.Background(), sc, patternName, loads, SweepOptions{})
 }
 
-// RunFig11Ctx is RunFig11 on the parallel sweep engine. An unknown
-// pattern name errors up front (listing the valid choices) before any
-// point runs.
+// RunFig11Ctx is RunFig11 on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "fig11", opts).
 func RunFig11Ctx(ctx context.Context, sc Scale, patternName string, loads []float64, opts SweepOptions) ([]Fig11Point, error) {
-	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	return runFig11(ctx, ExperimentOpts{Scale: sc, Pattern: patternName, Loads: loads, Sweep: opts})
+}
+
+// runFig11 is the fig11 implementation over consolidated options. An
+// unknown pattern name errors up front (listing the valid choices)
+// before any point runs.
+func runFig11(ctx context.Context, o ExperimentOpts) ([]Fig11Point, error) {
+	sc := o.Scale.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	loads := o.Loads
 	if loads == nil {
 		loads = DefaultLoads
+	}
+	patternName := o.Pattern
+	if patternName == "" {
+		patternName = "uniform-random"
 	}
 	pattern, err := traffic.PatternByName(patternName)
 	if err != nil {
@@ -492,7 +544,7 @@ func RunFig11Ctx(ctx context.Context, sc Scale, patternName string, loads []floa
 			})
 		}
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -509,7 +561,19 @@ type Fig12Point struct {
 // RunFig12 runs the two-burst schedule on the Catnap design and samples
 // throughput and subnet utilization every `window` cycles (50 in the
 // paper). total is the simulated length (3000 cycles in the paper).
+//
+// Deprecated: use RunExperiment(ctx, "fig12", opts).
 func RunFig12(total, window int64) []Fig12Point {
+	return runFig12(ExperimentOpts{Total: total, Window: window})
+}
+
+// runFig12 is the fig12 implementation over consolidated options. It is
+// the one canned experiment that honors ExperimentOpts.Telemetry
+// directly: a non-nil recorder is attached to the single simulated
+// network, so its metrics carry the windowed per-subnet power-state
+// series the burst plots are built from.
+func runFig12(o ExperimentOpts) []Fig12Point {
+	total, window := o.Total, o.Window
 	if total == 0 {
 		total = 3000
 	}
@@ -517,6 +581,9 @@ func RunFig12(total, window int64) []Fig12Point {
 		window = 50
 	}
 	sim := mustSim(mustDesign("4NT-128b-PG"))
+	if o.Telemetry != nil {
+		sim.EnableTelemetry(o.Telemetry, "fig12")
+	}
 	gen := sim.UseSynthetic(traffic.UniformRandom{}, traffic.Fig12Bursts(), 0)
 
 	nodes := float64(sim.Net.Topo().Nodes())
@@ -579,13 +646,23 @@ var Fig13Thresholds = []float64{0.04, 0.08, 0.12, 0.16, 0.20, 0.24}
 
 // RunFig13 sweeps IR-threshold subnet selection (no power gating, as in
 // the paper) over uniform-random and transpose traffic.
+//
+// Deprecated: use RunExperiment(ctx, "fig13", opts).
 func RunFig13(sc Scale, loads []float64) ([]Fig13Point, error) {
 	return RunFig13Ctx(context.Background(), sc, loads, SweepOptions{})
 }
 
 // RunFig13Ctx is RunFig13 on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "fig13", opts).
 func RunFig13Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig13Point, error) {
-	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	return runFig13(ctx, ExperimentOpts{Scale: sc, Loads: loads, Sweep: opts})
+}
+
+// runFig13 is the fig13 implementation over consolidated options.
+func runFig13(ctx context.Context, o ExperimentOpts) ([]Fig13Point, error) {
+	sc := o.Scale.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	loads := o.Loads
 	if loads == nil {
 		loads = DefaultLoads
 	}
@@ -624,7 +701,7 @@ func RunFig13Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptio
 			}
 		}
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -640,13 +717,23 @@ type Fig14Point struct {
 }
 
 // RunFig14 sweeps uniform random over the 64-core designs.
+//
+// Deprecated: use RunExperiment(ctx, "fig14", opts).
 func RunFig14(sc Scale, loads []float64) []Fig14Point {
 	return mustSweep(RunFig14Ctx(context.Background(), sc, loads, SweepOptions{}))
 }
 
 // RunFig14Ctx is RunFig14 on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "fig14", opts).
 func RunFig14Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]Fig14Point, error) {
-	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	return runFig14(ctx, ExperimentOpts{Scale: sc, Loads: loads, Sweep: opts})
+}
+
+// runFig14 is the fig14 implementation over consolidated options.
+func runFig14(ctx context.Context, o ExperimentOpts) ([]Fig14Point, error) {
+	sc := o.Scale.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	loads := o.Loads
 	if loads == nil {
 		loads = DefaultLoads
 	}
@@ -670,7 +757,7 @@ func RunFig14Ctx(ctx context.Context, sc Scale, loads []float64, opts SweepOptio
 			})
 		}
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -694,14 +781,23 @@ type ProfileRow struct {
 // RunProfiles characterizes every benchmark in the library on a 64-core
 // 1NT-256b system (characterization needs per-core behaviour, not chip
 // scale).
+//
+// Deprecated: use RunExperiment(ctx, "profiles", opts).
 func RunProfiles(sc Scale) ([]ProfileRow, error) {
 	return RunProfilesCtx(context.Background(), sc, SweepOptions{})
 }
 
 // RunProfilesCtx is RunProfiles on the parallel sweep engine — one point
 // per benchmark profile.
+//
+// Deprecated: use RunExperiment(ctx, "profiles", opts).
 func RunProfilesCtx(ctx context.Context, sc Scale, opts SweepOptions) ([]ProfileRow, error) {
-	sc = sc.or(3000, 10000)
+	return runProfiles(ctx, ExperimentOpts{Scale: sc, Sweep: opts})
+}
+
+// runProfiles is the profiles implementation over consolidated options.
+func runProfiles(ctx context.Context, o ExperimentOpts) ([]ProfileRow, error) {
+	sc := o.Scale.or(3000, 10000)
 	var pts []runner.Point[ProfileRow]
 	for i := range workload.Profiles {
 		prof := &workload.Profiles[i]
@@ -751,7 +847,7 @@ func RunProfilesCtx(ctx context.Context, sc Scale, opts SweepOptions) ([]Profile
 			},
 		})
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -771,13 +867,23 @@ type TopologyPoint struct {
 
 // RunTopology sweeps uniform random over the mesh, torus, and flattened
 // butterfly Catnap designs.
+//
+// Deprecated: use RunExperiment(ctx, "topology", opts).
 func RunTopology(sc Scale, loads []float64) []TopologyPoint {
 	return mustSweep(RunTopologyCtx(context.Background(), sc, loads, SweepOptions{}))
 }
 
 // RunTopologyCtx is RunTopology on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "topology", opts).
 func RunTopologyCtx(ctx context.Context, sc Scale, loads []float64, opts SweepOptions) ([]TopologyPoint, error) {
-	sc = sc.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	return runTopology(ctx, ExperimentOpts{Scale: sc, Loads: loads, Sweep: opts})
+}
+
+// runTopology is the topology implementation over consolidated options.
+func runTopology(ctx context.Context, o ExperimentOpts) ([]TopologyPoint, error) {
+	sc := o.Scale.or(DefaultSyntheticScale.Warmup, DefaultSyntheticScale.Measure)
+	loads := o.Loads
 	if loads == nil {
 		loads = DefaultLoads
 	}
@@ -805,7 +911,7 @@ func RunTopologyCtx(ctx context.Context, sc Scale, loads []float64, opts SweepOp
 			})
 		}
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -825,13 +931,22 @@ type HeteroRow struct {
 
 // RunHetero compares regional vs local-only BFM detection on the
 // Heavy-west / Light-east split chip.
+//
+// Deprecated: use RunExperiment(ctx, "hetero", opts).
 func RunHetero(sc Scale) ([]HeteroRow, error) {
 	return RunHeteroCtx(context.Background(), sc, SweepOptions{})
 }
 
 // RunHeteroCtx is RunHetero on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "hetero", opts).
 func RunHeteroCtx(ctx context.Context, sc Scale, opts SweepOptions) ([]HeteroRow, error) {
-	sc = sc.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
+	return runHetero(ctx, ExperimentOpts{Scale: sc, Sweep: opts})
+}
+
+// runHetero is the hetero implementation over consolidated options.
+func runHetero(ctx context.Context, o ExperimentOpts) ([]HeteroRow, error) {
+	sc := o.Scale.or(DefaultAppScale.Warmup, DefaultAppScale.Measure)
 	var pts []runner.Point[HeteroRow]
 	for _, localOnly := range []bool{false, true} {
 		label := "regional"
@@ -867,7 +982,7 @@ func RunHeteroCtx(ctx context.Context, sc Scale, opts SweepOptions) ([]HeteroRow
 			},
 		})
 	}
-	return sweep(ctx, pts, opts)
+	return sweep(ctx, pts, o.Sweep)
 }
 
 // ---------------------------------------------------------------------------
@@ -890,14 +1005,24 @@ type Headline struct {
 }
 
 // RunHeadline computes the headline numbers from the Figure 8/9 matrix.
+//
+// Deprecated: use RunExperiment(ctx, "headline", opts).
 func RunHeadline(sc Scale) (Headline, error) {
 	return RunHeadlineCtx(context.Background(), sc, SweepOptions{})
 }
 
 // RunHeadlineCtx is RunHeadline with the underlying Figure 8/9 matrix
 // executed on the parallel sweep engine.
+//
+// Deprecated: use RunExperiment(ctx, "headline", opts).
 func RunHeadlineCtx(ctx context.Context, sc Scale, opts SweepOptions) (Headline, error) {
-	rows, err := RunAppWorkloadsCtx(ctx, sc, nil, []string{"1NT-512b", "4NT-128b-PG"}, opts)
+	return runHeadline(ctx, ExperimentOpts{Scale: sc, Sweep: opts})
+}
+
+// runHeadline is the headline implementation over consolidated options.
+func runHeadline(ctx context.Context, o ExperimentOpts) (Headline, error) {
+	o.Mixes, o.Designs = nil, []string{"1NT-512b", "4NT-128b-PG"}
+	rows, err := runAppWorkloads(ctx, o)
 	if err != nil {
 		return Headline{}, err
 	}

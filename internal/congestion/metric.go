@@ -138,10 +138,26 @@ func Default(kind MetricKind) Config {
 // Detector computes per-(subnet, node) local congestion status and
 // per-(subnet, region) regional congestion status every cycle. Register it
 // as a noc.CycleObserver; policies then query Congested/LCS/RCS.
+// Tracer observes congestion-status transitions as the detector latches
+// them. The hooks fire only when a status actually changes — never per
+// cycle — and every call is guarded behind a nil check, so an unset
+// tracer is free. The callbacks run inside the detector's AfterCycle,
+// which makes the stream independent of where any other observer sits in
+// the network's observer list.
+type Tracer interface {
+	// LCSChanged fires when (subnet, node)'s local congestion status
+	// flips to on.
+	LCSChanged(now int64, subnet, node int, on bool)
+	// RCSChanged fires when (subnet, region)'s latched regional status
+	// toggles.
+	RCSChanged(now int64, subnet, region int, on bool)
+}
+
 type Detector struct {
-	cfg  Config
-	net  *noc.Network
-	rcsE *RCSEnergy
+	cfg    Config
+	net    *noc.Network
+	rcsE   *RCSEnergy
+	tracer Tracer
 
 	subnets int
 	nodes   int
@@ -220,6 +236,10 @@ func NewDetector(net *noc.Network, cfg Config) *Detector {
 // Config returns the detector's configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// SetTracer installs (or, with nil, removes) the congestion-transition
+// tracer.
+func (d *Detector) SetTracer(t Tracer) { d.tracer = t }
+
 // Energy returns the OR-network activity counters.
 func (d *Detector) Energy() *RCSEnergy { return d.rcsE }
 
@@ -269,16 +289,22 @@ func (d *Detector) AfterCycle(now int64) {
 			raw := d.sample(s, n)
 			idx := s*d.nodes + n
 			if raw > d.cfg.Threshold {
+				if !d.lcs[idx] && d.tracer != nil {
+					d.tracer.LCSChanged(now, s, n, true)
+				}
 				d.lcs[idx] = true
 				d.lastHot[idx] = now
 			} else if d.lcs[idx] && raw < d.cfg.ClearThreshold && now-d.lastHot[idx] >= d.cfg.HoldCycles {
 				d.lcs[idx] = false
+				if d.tracer != nil {
+					d.tracer.LCSChanged(now, s, n, false)
+				}
 			}
 		}
 	}
 
 	if d.cfg.UseRCS && now%d.cfg.RCSPeriod == 0 {
-		d.latchRCS()
+		d.latchRCS(now)
 	}
 }
 
@@ -340,7 +366,7 @@ func (d *Detector) closeWindow(now int64) {
 }
 
 // latchRCS recomputes every region's OR output from current LCS values.
-func (d *Detector) latchRCS() {
+func (d *Detector) latchRCS(now int64) {
 	d.rcsE.Latches++
 	if d.orScratch == nil {
 		d.orScratch = make([]bool, d.regions)
@@ -360,6 +386,9 @@ func (d *Detector) latchRCS() {
 			if d.rcs[idx] != regionOr[rg] {
 				d.rcsE.Toggles++
 				d.rcs[idx] = regionOr[rg]
+				if d.tracer != nil {
+					d.tracer.RCSChanged(now, s, rg, regionOr[rg])
+				}
 			}
 		}
 	}

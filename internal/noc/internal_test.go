@@ -143,27 +143,27 @@ func TestPowerStateTimings(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &net.subnets[0].routers[0]
-	r.sleep(100)
+	r.sleep(100, 4)
 	if r.state != PowerAsleep {
 		t.Fatal("sleep failed")
 	}
-	r.wake(100, 10)
+	r.wake(100, 10, WakeNI)
 	if r.state != PowerWaking || r.wakeAt != 110 {
 		t.Fatalf("state=%v wakeAt=%d", r.state, r.wakeAt)
 	}
 	// A faster signal (look-ahead) accelerates the wake.
-	r.wake(101, 7)
+	r.wake(101, 7, WakeLookAhead)
 	if r.wakeAt != 108 {
 		t.Fatalf("wakeAt=%d, want 108 (earliest wins)", r.wakeAt)
 	}
 	// A slower one does not delay it.
-	r.wake(102, 10)
+	r.wake(102, 10, WakeNI)
 	if r.wakeAt != 108 {
 		t.Fatalf("wakeAt=%d after slower signal", r.wakeAt)
 	}
 	// Waking a running router is a no-op.
 	r.state = PowerActive
-	r.wake(200, 10)
+	r.wake(200, 10, WakeNI)
 	if r.state != PowerActive {
 		t.Fatal("wake disturbed an active router")
 	}

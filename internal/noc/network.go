@@ -32,6 +32,7 @@ type Network struct {
 	selector  SubnetSelector
 	gating    GatingPolicy
 	obs       []CycleObserver
+	tracer    PowerTracer
 
 	now        int64
 	nextPktID  uint64
@@ -96,6 +97,18 @@ func (n *Network) SetSelector(s SubnetSelector) {
 // AddObserver registers an end-of-cycle observer. Observers run in
 // registration order.
 func (n *Network) AddObserver(o CycleObserver) { n.obs = append(n.obs, o) }
+
+// Observers returns the number of registered end-of-cycle observers
+// (telemetry's free-when-off guard asserts on it).
+func (n *Network) Observers() int { return len(n.obs) }
+
+// SetPowerTracer installs (or, with nil, removes) the power-transition
+// tracer. The default is nil: no tracing, no per-transition overhead
+// beyond a pointer compare.
+func (n *Network) SetPowerTracer(t PowerTracer) { n.tracer = t }
+
+// PowerTracer returns the installed power-transition tracer, or nil.
+func (n *Network) PowerTracer() PowerTracer { return n.tracer }
 
 // AddSink registers a delivery callback invoked for every packet when its
 // tail flit ejects; closed-loop system models use one to unblock cores,

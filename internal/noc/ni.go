@@ -189,7 +189,7 @@ func (ni *NI) injectPhase(now int64) {
 			if router.state == PowerAsleep {
 				// NI wake-up: nothing hides the latency here; the packet
 				// waits out the full T-wakeup.
-				router.wake(now, cfg.TWakeup)
+				router.wake(now, cfg.TWakeup, WakeNI)
 				ni.net.subnets[s].events.WakeupSignals++
 			}
 			continue

@@ -43,6 +43,58 @@ type CycleObserver interface {
 	AfterCycle(now int64)
 }
 
+// WakeCause identifies what triggered a sleeping router's wake-up, for
+// telemetry. The substrate has three wake mechanisms (paper §3.3): the
+// look-ahead signal carried by an approaching head flit, the NI signal a
+// node raises when it holds traffic for a gated local router, and the
+// proactive policy wake-up (Catnap wakes subnet h when subnet h−1's
+// regional congestion status turns on).
+type WakeCause uint8
+
+// Wake-up causes, in the order the substrate checks them.
+const (
+	// WakeLookAhead is the look-ahead wake-up: a head flit routed toward
+	// the sleeping router (including the re-assert for a flit already
+	// blocked behind it).
+	WakeLookAhead WakeCause = iota
+	// WakeNI is the network-interface wake-up: the local NI holds a
+	// packet for the gated router and nothing hides the latency.
+	WakeNI
+	// WakePolicy is the proactive policy wake-up (GatingPolicy.WantWake).
+	WakePolicy
+)
+
+// String returns the cause name used in telemetry events.
+func (c WakeCause) String() string {
+	switch c {
+	case WakeLookAhead:
+		return "look-ahead"
+	case WakeNI:
+		return "ni"
+	case WakePolicy:
+		return "policy"
+	default:
+		return "invalid"
+	}
+}
+
+// PowerTracer observes router power-state transitions as they happen.
+// The hooks fire only on actual transitions (Active→Asleep and
+// Asleep→Waking), never per cycle, and the network guards every call
+// behind a nil check — an unset tracer costs one pointer compare per
+// transition. With ParallelSubnets enabled the callbacks may arrive
+// concurrently from different subnets' goroutines; implementations must
+// be safe for that.
+type PowerTracer interface {
+	// RouterSlept fires when (subnet, node) gates off at cycle now after
+	// idle continuously-empty cycles (the T-idle-detect trigger).
+	RouterSlept(now int64, subnet, node int, idle int64)
+	// RouterWoke fires when the sleeping (subnet, node) starts its wake-up
+	// at cycle now, with the cause and the length of the sleep period it
+	// ends.
+	RouterWoke(now int64, subnet, node int, cause WakeCause, slept int64)
+}
+
 // PowerEvents accumulates the switching-activity counts the power model
 // converts to dynamic energy, and the state-residency counts it converts
 // to leakage. One PowerEvents is kept per subnet so the model can apply

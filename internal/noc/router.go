@@ -115,6 +115,9 @@ type Router struct {
 	// Power gating state.
 	state  PowerState
 	wakeAt int64
+	// sleptAt is the cycle the current/last sleep period began (telemetry
+	// reports the period length on wake).
+	sleptAt int64
 	// pinnedUntil is the latest cycle at which an in-flight flit is
 	// scheduled to arrive; the router may not sleep before then, which
 	// guarantees no flit is ever sent to (or stranded in) a gated router.
@@ -212,8 +215,9 @@ func (r *Router) BlockingCounters() (blockedCycles, granted int64) {
 
 // wake initiates (or accelerates) a wake-up completing after delay cycles.
 // It is a no-op on an active router; on a waking router it keeps the
-// earlier completion time.
-func (r *Router) wake(now int64, delay int) {
+// earlier completion time. cause is reported to the network's power
+// tracer, if one is installed, on the actual Asleep→Waking transition.
+func (r *Router) wake(now int64, delay int, cause WakeCause) {
 	switch r.state {
 	case PowerActive:
 		return
@@ -222,6 +226,9 @@ func (r *Router) wake(now int64, delay int) {
 		r.sub.events.GatingTransitions++
 		r.state = PowerWaking
 		r.wakeAt = now + int64(delay)
+		if t := r.sub.net.tracer; t != nil {
+			t.RouterWoke(now, r.sub.index, r.node, cause, now-r.sleptAt)
+		}
 	case PowerWaking:
 		if t := now + int64(delay); t < r.wakeAt {
 			r.wakeAt = t
@@ -229,11 +236,16 @@ func (r *Router) wake(now int64, delay int) {
 	}
 }
 
-// sleep gates the router at cycle now. The caller has verified the sleep
-// preconditions (empty buffers, no pinned arrivals, policy approval).
-func (r *Router) sleep(now int64) {
+// sleep gates the router at cycle now after idle continuously-empty
+// cycles. The caller has verified the sleep preconditions (empty buffers,
+// no pinned arrivals, policy approval).
+func (r *Router) sleep(now, idle int64) {
 	r.state = PowerAsleep
+	r.sleptAt = now
 	r.csc.Sleep(now)
+	if t := r.sub.net.tracer; t != nil {
+		t.RouterSlept(now, r.sub.index, r.node, idle)
+	}
 }
 
 // deliver writes an arriving flit into input port p, VC v. It runs in the
@@ -253,7 +265,7 @@ func (r *Router) deliver(now int64, p, v int, f flit) {
 		if down >= 0 {
 			dr := &r.sub.routers[down]
 			if dr.state != PowerActive {
-				dr.wake(now, cfg.TWakeup-cfg.WakeupHidden)
+				dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
 				r.sub.events.WakeupSignals++
 			}
 		}
@@ -394,7 +406,7 @@ func (r *Router) switchAllocate(now int64) int {
 					// forever in a quiet network.
 					if dr.state == PowerAsleep {
 						cfg := r.sub.net.cfg
-						dr.wake(now, cfg.TWakeup-cfg.WakeupHidden)
+						dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
 						r.sub.events.WakeupSignals++
 					}
 					r.blockedFlitCycles++
@@ -487,7 +499,7 @@ func (r *Router) powerUpdate(now int64) {
 	case PowerAsleep:
 		ev.SleepRouterCycles++
 		if pol != nil && pol.WantWake(now, r.sub.index, r.node) {
-			r.wake(now, cfg.TWakeup)
+			r.wake(now, cfg.TWakeup, WakePolicy)
 		}
 		return
 	}
@@ -502,6 +514,6 @@ func (r *Router) powerUpdate(now int64) {
 	}
 	idle := now - r.emptySince + 1
 	if idle >= int64(cfg.TIdleDetect) && pol.AllowSleep(now, r.sub.index, r.node, idle) {
-		r.sleep(now)
+		r.sleep(now, idle)
 	}
 }

@@ -186,3 +186,42 @@ func (s *Subnet) ActiveRouters() int {
 	}
 	return c
 }
+
+// PowerStates returns the router counts in each power state; telemetry
+// samples it per cycle for the Figure 12-style power-state series.
+func (s *Subnet) PowerStates() (active, waking, asleep int) {
+	for n := range s.routers {
+		switch s.routers[n].state {
+		case PowerActive:
+			active++
+		case PowerWaking:
+			waking++
+		default:
+			asleep++
+		}
+	}
+	return
+}
+
+// BufferedFlits returns the total flits buffered across every router in
+// the subnet (the occupancy the BFA metric averages).
+func (s *Subnet) BufferedFlits() int {
+	t := 0
+	for n := range s.routers {
+		t += s.routers[n].TotalOccupancy()
+	}
+	return t
+}
+
+// MaxBFM returns the maximum per-router BFM (max input-port occupancy)
+// over the subnet — the subnet-wide view of the paper's chosen local
+// congestion metric.
+func (s *Subnet) MaxBFM() int {
+	m := 0
+	for n := range s.routers {
+		if b := s.routers[n].MaxPortOccupancy(); b > m {
+			m = b
+		}
+	}
+	return m
+}

@@ -194,3 +194,32 @@ func firstLine(err error) string {
 	}
 	return msg
 }
+
+// Tee fans one progress stream out to several receivers in order. Nil
+// receivers are skipped; Tee of zero or one live receiver collapses to
+// that receiver (nil when none), so callers can compose unconditionally.
+func Tee(ps ...Progress) Progress {
+	live := make([]Progress, 0, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeProgress(live)
+}
+
+// teeProgress broadcasts each event to every receiver.
+type teeProgress []Progress
+
+// Event implements Progress.
+func (t teeProgress) Event(e Event) {
+	for _, p := range t {
+		p.Event(e)
+	}
+}

@@ -1,0 +1,28 @@
+package runner
+
+import "testing"
+
+func TestTee(t *testing.T) {
+	var a, b []EventKind
+	pa := ProgressFunc(func(e Event) { a = append(a, e.Kind) })
+	pb := ProgressFunc(func(e Event) { b = append(b, e.Kind) })
+
+	if Tee() != nil {
+		t.Error("Tee() should collapse to nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("Tee(nil, nil) should collapse to nil")
+	}
+	// A single live receiver comes back unwrapped.
+	if got := Tee(nil, pa); got == nil {
+		t.Fatal("Tee(nil, p) returned nil")
+	}
+
+	tee := Tee(pa, nil, pb)
+	tee.Event(Event{Kind: PointStart})
+	tee.Event(Event{Kind: PointDone})
+	want := []EventKind{PointStart, PointDone}
+	if len(a) != 2 || len(b) != 2 || a[0] != want[0] || a[1] != want[1] || b[0] != want[0] || b[1] != want[1] {
+		t.Errorf("tee fan-out mismatch: a=%v b=%v", a, b)
+	}
+}

@@ -23,6 +23,11 @@ type Latency struct {
 	max     int64
 	samples []int32
 	every   int64 // record one of every `every` observations
+	// sorted caches the sorted reservoir between Observe calls; the sweep
+	// progress path queries several percentiles per point, so sorting once
+	// per quiescent state instead of once per query matters. Nil means
+	// stale; Observe invalidates.
+	sorted []int32
 }
 
 // NewLatency returns an empty accumulator that reservoir-samples at most
@@ -48,6 +53,7 @@ func (l *Latency) Observe(cycles int64) {
 		l.max = cycles
 	}
 	if l.count%l.every == 0 {
+		l.sorted = nil
 		if len(l.samples) == cap(l.samples) {
 			// Decimate: keep every other sample and double the stride. This
 			// keeps a uniform systematic sample without per-observation RNG.
@@ -103,9 +109,14 @@ func (l *Latency) Percentile(p float64) int64 {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	s := make([]int32, len(l.samples))
-	copy(s, l.samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if l.sorted == nil {
+		// Copy rather than sort in place: samples is a systematic sample
+		// whose append order the decimation pass in Observe relies on.
+		l.sorted = make([]int32, len(l.samples))
+		copy(l.sorted, l.samples)
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+	}
+	s := l.sorted
 	idx := int(p / 100 * float64(len(s)-1))
 	if idx < 0 {
 		idx = 0

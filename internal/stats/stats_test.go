@@ -171,3 +171,60 @@ func TestCSCFlush(t *testing.T) {
 		t.Errorf("transitions = %d, want 1 (flush is not a transition)", c.Transitions())
 	}
 }
+
+// TestPercentileCacheInvalidation checks that the cached sorted reservoir
+// stays consistent across interleaved Observe and Percentile calls: the
+// cache must be rebuilt after new samples land, including across a
+// decimation pass.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	l := NewLatency(8)
+	for i := int64(1); i <= 4; i++ {
+		l.Observe(i * 10)
+	}
+	if got := l.Percentile(100); got != 40 {
+		t.Fatalf("p100 = %d, want 40", got)
+	}
+	// A repeated query must serve from the cache and agree.
+	if got := l.Percentile(100); got != 40 {
+		t.Fatalf("cached p100 = %d, want 40", got)
+	}
+	l.Observe(500)
+	if got := l.Percentile(100); got != 500 {
+		t.Fatalf("p100 after Observe = %d, want 500 (stale cache?)", got)
+	}
+	// Force decimation (reservoir cap 8) and re-query: the cache must
+	// follow the rewritten reservoir.
+	for i := int64(0); i < 32; i++ {
+		l.Observe(1000 + i)
+		if p := l.Percentile(50); p < 0 {
+			t.Fatalf("negative percentile")
+		}
+	}
+	if got, want := l.Percentile(0), l.Min(); got > 1000 && want < 1000 {
+		t.Fatalf("p0 = %d inconsistent after decimation", got)
+	}
+	// The cache must never alias the live reservoir: mutate via Observe
+	// and check an old high value cannot reappear.
+	if got := l.Percentile(100); got < 500 {
+		t.Fatalf("p100 = %d, want >= 500", got)
+	}
+}
+
+// TestPercentileMatchesUncached cross-checks cached percentiles against a
+// fresh accumulator fed the same data in one shot.
+func TestPercentileMatchesUncached(t *testing.T) {
+	a, b := NewLatency(64), NewLatency(64)
+	vals := []int64{9, 1, 7, 3, 5, 8, 2, 6, 4}
+	for _, v := range vals {
+		a.Observe(v)
+		a.Percentile(50) // interleave queries to exercise the cache
+	}
+	for _, v := range vals {
+		b.Observe(v)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%.0f: cached %d != uncached %d", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+}

@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -98,5 +99,95 @@ func TestSummarizeEmpty(t *testing.T) {
 	}
 	if sum.Packets != 0 || sum.MeanLatency != 0 || sum.FirstCreate != 0 {
 		t.Fatalf("empty summary: %+v", sum)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.WithGzip(), trace.WithBufferSize(256))
+	want := make([]trace.Record, 0, 100)
+	for i := 0; i < 100; i++ {
+		p := &noc.Packet{
+			ID: uint64(i), Src: i % 16, Dst: (i * 7) % 16,
+			SizeBits: 512, NumFlits: 4, Subnet: i % 4,
+			CreateTime: int64(i), InjectTime: int64(i + 2), ArriveTime: int64(i + 20),
+		}
+		w.Write(p)
+		want = append(want, trace.Record{
+			ID: p.ID, Src: p.Src, Dst: p.Dst, Class: p.Class,
+			SizeBits: p.SizeBits, Flits: p.NumFlits, Subnet: p.Subnet,
+			Create: p.CreateTime, Inject: p.InjectTime, Arrive: p.ArriveTime,
+		})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if buf.Len() < 2 || buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatal("output is not gzip-framed")
+	}
+
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace.NewReader: %v", err)
+	}
+	defer r.Close()
+	var got []trace.Record
+	if err := r.Each(func(rec trace.Record) error { got = append(got, rec); return nil }); err != nil {
+		t.Fatalf("Each: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gzip round-trip mismatch: got %d records", len(got))
+	}
+	if r.Count() != 100 {
+		t.Errorf("reader count = %d, want 100", r.Count())
+	}
+}
+
+func TestReaderPlainAutodetect(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	w.Write(&noc.Packet{ID: 1, SizeBits: 128, NumFlits: 1, ArriveTime: 9})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := r.Each(func(trace.Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("read %d records, want 1", n)
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r, err := trace.NewReader(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatalf("trace.NewReader on empty input: %v", err)
+	}
+	if err := r.Each(func(trace.Record) error { t.Fatal("unexpected record"); return nil }); err != nil {
+		t.Errorf("Each on empty input: %v", err)
+	}
+}
+
+func TestSummarizeGzip(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.WithGzip())
+	for i := 0; i < 10; i++ {
+		w.Write(&noc.Packet{ID: uint64(i), Subnet: i % 2, SizeBits: 64, NumFlits: 1,
+			CreateTime: int64(i), ArriveTime: int64(i + 10)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Packets != 10 || s.MeanLatency != 10 || s.PerSubnet[0] != 5 {
+		t.Errorf("summary = %+v", s)
 	}
 }

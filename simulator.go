@@ -12,6 +12,7 @@ import (
 	"github.com/catnap-noc/catnap/internal/power"
 	"github.com/catnap-noc/catnap/internal/sim"
 	"github.com/catnap-noc/catnap/internal/stats"
+	"github.com/catnap-noc/catnap/internal/telemetry"
 	"github.com/catnap-noc/catnap/internal/trace"
 	"github.com/catnap-noc/catnap/internal/traffic"
 	"github.com/catnap-noc/catnap/internal/workload"
@@ -122,12 +123,26 @@ func New(cfg Config) (*Simulator, error) {
 }
 
 // EnableTrace streams a JSONL record for every delivered packet to w
-// (see internal/trace for the schema). Returns the trace writer; call its
-// Flush (or Close) after the run.
-func (s *Simulator) EnableTrace(w io.Writer) *trace.Writer {
-	tw := trace.NewWriter(w)
+// (see internal/trace for the schema), honoring writer options such as
+// trace.WithGzip. Returns the trace writer; call its Flush (or Close)
+// after the run.
+func (s *Simulator) EnableTrace(w io.Writer, opts ...trace.Option) *trace.Writer {
+	tw := trace.NewWriter(w, opts...)
 	s.Net.AddSink(tw.Sink())
 	return tw
+}
+
+// EnableTelemetry attaches a cycle-level telemetry collector (metrics
+// registry + structured event log) to this simulator's network and
+// congestion detector. label tags every exported metric point and is
+// typically the experiment or sweep-point name. Returns the collector;
+// read results through the recorder (Metrics, WriteEvents) after the
+// run. When rec is never attached the simulator carries zero telemetry
+// overhead — the hooks stay nil.
+func (s *Simulator) EnableTelemetry(rec *telemetry.Recorder, label string) *telemetry.Collector {
+	c := rec.Attach(s.Net, s.Det, label)
+	c.SetLeakRate(s.Model.RouterLeakPJ())
+	return c
 }
 
 // UseSynthetic attaches an open-loop synthetic traffic generator; call

@@ -1,0 +1,268 @@
+package catnap
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/catnap-noc/catnap/internal/telemetry"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// fig6Golden pins the exact Fig6 rows the pre-telemetry tree produced at
+// testScale/testLoads (captured on main before the telemetry subsystem
+// landed). With telemetry off the hooks are nil and the cycle loop must
+// stay bit-identical — any drift here means the instrumentation leaked
+// into the simulation.
+var fig6Golden = []Fig6Point{
+	{"1NT-512b", 0.05, 0.049652777777777775, 20.12062937062937},
+	{"1NT-512b", 0.2, 0.19907986111111112, 20.8896834394349},
+	{"2NT-256b", 0.05, 0.049652777777777775, 21.326923076923077},
+	{"2NT-256b", 0.2, 0.19928819444444446, 23.090425995295757},
+	{"4NT-128b", 0.05, 0.04973958333333333, 23.67085514834206},
+	{"4NT-128b", 0.2, 0.19946180555555557, 27.29497780485682},
+	{"8NT-64b", 0.05, 0.04977430555555556, 28.484478549005928},
+	{"8NT-64b", 0.2, 0.19946180555555557, 36.8688310557925},
+}
+
+func TestFig6GoldenBitIdenticalTelemetryOff(t *testing.T) {
+	got, err := runFig6(context.Background(), ExperimentOpts{Scale: testScale, Loads: testLoads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fig6Golden) {
+		t.Fatalf("telemetry-off Fig6 rows drifted from the pre-telemetry golden values\ngot:  %+v\nwant: %+v", got, fig6Golden)
+	}
+}
+
+// telemetrySample runs one fixed synthetic measurement, optionally
+// instrumented.
+func telemetrySample(rec *telemetry.Recorder) Results {
+	sim := mustSim(mustDesign("4NT-128b-PG"))
+	if rec != nil {
+		sim.EnableTelemetry(rec, "sample")
+	}
+	return sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(0.10), 300, 900)
+}
+
+// TestTelemetryObservesWithoutPerturbing is the on-vs-off identity
+// check: attaching a full recorder must not change a single result
+// bit, while still seeing the run's sleep/wake activity.
+func TestTelemetryObservesWithoutPerturbing(t *testing.T) {
+	off := telemetrySample(nil)
+	rec := telemetry.NewRecorder(telemetry.Options{})
+	on := telemetrySample(rec)
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("telemetry attach perturbed results\noff: %+v\non:  %+v", off, on)
+	}
+	if n := rec.Log().Count(telemetry.EventRouterSleep); n == 0 {
+		t.Fatal("instrumented run recorded no router.sleep events")
+	}
+	if n := rec.Log().Count(telemetry.EventRouterWake); n == 0 {
+		t.Fatal("instrumented run recorded no router.wake events")
+	}
+	if len(rec.Metrics()) == 0 {
+		t.Fatal("instrumented run exported no metric points")
+	}
+}
+
+func TestExperimentOptsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts ExperimentOpts
+		want string // substring naming the offending field
+	}{
+		{"negative warmup", ExperimentOpts{Scale: Scale{Warmup: -1}}, "ExperimentOpts.Scale.Warmup"},
+		{"negative measure", ExperimentOpts{Scale: Scale{Measure: -5}}, "ExperimentOpts.Scale.Measure"},
+		{"load too high", ExperimentOpts{Loads: []float64{0.1, 1.5}}, "ExperimentOpts.Loads[1]"},
+		{"load zero", ExperimentOpts{Loads: []float64{0}}, "ExperimentOpts.Loads[0]"},
+		{"bad pattern", ExperimentOpts{Pattern: "zigzag"}, "ExperimentOpts.Pattern"},
+		{"bad mix", ExperimentOpts{Mixes: []string{"NoSuchMix"}}, "ExperimentOpts.Mixes[0]"},
+		{"bad design", ExperimentOpts{Designs: []string{"9NT-1b"}}, "ExperimentOpts.Designs[0]"},
+		{"negative total", ExperimentOpts{Total: -1}, "ExperimentOpts.Total"},
+		{"window over total", ExperimentOpts{Total: 100, Window: 200}, "ExperimentOpts.Window"},
+		{"negative jobs", ExperimentOpts{Sweep: SweepOptions{Jobs: -1}}, "ExperimentOpts.Sweep.Jobs"},
+		{"negative timeout", ExperimentOpts{Sweep: SweepOptions{Timeout: -time.Second}}, "ExperimentOpts.Sweep.Timeout"},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error naming %s", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %s", c.name, err, c.want)
+		}
+	}
+	if err := (ExperimentOpts{}).Validate(); err != nil {
+		t.Errorf("zero options must validate, got %v", err)
+	}
+	// RunExperiment rejects before running anything.
+	if _, err := RunExperiment(context.Background(), "fig6", ExperimentOpts{Loads: []float64{2}}); err == nil {
+		t.Error("RunExperiment accepted invalid options")
+	}
+}
+
+// TestRunExperimentFig12Telemetry exercises the acceptance path: fig12
+// with a recorder must yield a windowed per-subnet power-state series
+// and at least one sleep/wake event carrying its cause.
+func TestRunExperimentFig12Telemetry(t *testing.T) {
+	rec := telemetry.NewRecorder(telemetry.Options{})
+	res, err := RunExperiment(context.Background(), "fig12",
+		ExperimentOpts{Total: 1500, Window: 50, Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("fig12 produced no rows")
+	}
+
+	windows := map[int]int{} // subnet -> power-state series windows seen
+	asleep := map[[2]int64]float64{}
+	saved := map[[2]int64]float64{}
+	for _, p := range rec.Metrics() {
+		if p.Cycle < 0 {
+			continue
+		}
+		switch p.Metric {
+		case telemetry.MetricActiveRouterCycles:
+			windows[p.Subnet]++
+		case telemetry.MetricAsleepRouterCycles:
+			asleep[[2]int64{int64(p.Subnet), p.Cycle}] = p.Value
+		case telemetry.MetricLeakageSavedPJ:
+			saved[[2]int64{int64(p.Subnet), p.Cycle}] = p.Value
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if windows[s] == 0 {
+			t.Errorf("no windowed %s series for subnet %d", telemetry.MetricActiveRouterCycles, s)
+		}
+	}
+	// The derived energy series must cover exactly the asleep windows and
+	// scale them by the model's per-router leakage rate.
+	if len(saved) != len(asleep) || len(saved) == 0 {
+		t.Fatalf("leakage_saved_pj has %d windows, asleep series has %d", len(saved), len(asleep))
+	}
+	leak := mustSim(mustDesign("4NT-128b-PG")).Model.RouterLeakPJ()
+	for k, a := range asleep {
+		if got, want := saved[k], a*leak; got != want {
+			t.Fatalf("subnet %d cycle %d: leakage_saved_pj = %g, want %g (asleep %g x %g pJ)",
+				k[0], k[1], got, want, a, leak)
+		}
+	}
+
+	var slept, woke bool
+	for _, e := range rec.Log().Events() {
+		switch e.Type {
+		case telemetry.EventRouterSleep:
+			if e.Cause == "" {
+				t.Fatalf("sleep event without cause: %+v", e)
+			}
+			slept = true
+		case telemetry.EventRouterWake:
+			if e.Cause == "" {
+				t.Fatalf("wake event without cause: %+v", e)
+			}
+			woke = true
+		}
+	}
+	if !slept || !woke {
+		t.Fatalf("expected sleep and wake events, got slept=%v woke=%v", slept, woke)
+	}
+}
+
+// TestTelemetryOverheadGuard is the make bench-telemetry guard: it times
+// a fixed run in three arms — base (no telemetry anywhere), off (a
+// recorder exists but is never attached, the flags-unset path), and on
+// (fully instrumented) — interleaved, min-of-5, then writes
+// BENCH_telemetry.json and fails if the off arm costs more than 2% over
+// base. Gated behind TELEMETRY_GUARD=1 because wall-clock assertions
+// do not belong in the default -race test run.
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if os.Getenv("TELEMETRY_GUARD") == "" {
+		t.Skip("set TELEMETRY_GUARD=1 (or run `make bench-telemetry`) to run the overhead guard")
+	}
+
+	const warmup, measure = 300, 2700
+	const cycles = warmup + measure
+	arms := []struct {
+		name string
+		run  func() Results
+	}{
+		{"base", func() Results {
+			sim := mustSim(mustDesign("4NT-128b-PG"))
+			// Structural zero-cost: no tracer, no extra observer beyond
+			// the congestion detector the design itself installs.
+			if sim.Net.PowerTracer() != nil {
+				t.Fatal("PowerTracer set before any telemetry attach")
+			}
+			if n := sim.Net.Observers(); n != 1 {
+				t.Fatalf("base network has %d observers, want 1 (the detector)", n)
+			}
+			return sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(0.10), warmup, measure)
+		}},
+		{"off", func() Results {
+			_ = telemetry.NewRecorder(telemetry.Options{}) // built but never attached
+			sim := mustSim(mustDesign("4NT-128b-PG"))
+			return sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(0.10), warmup, measure)
+		}},
+		{"on", func() Results {
+			rec := telemetry.NewRecorder(telemetry.Options{})
+			sim := mustSim(mustDesign("4NT-128b-PG"))
+			sim.EnableTelemetry(rec, "guard")
+			return sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(0.10), warmup, measure)
+		}},
+	}
+
+	const reps = 5
+	best := make([]time.Duration, len(arms))
+	for i := range best {
+		best[i] = time.Duration(1<<63 - 1)
+	}
+	for r := 0; r < reps; r++ {
+		for i, arm := range arms {
+			start := time.Now()
+			res := arm.run()
+			d := time.Since(start)
+			if res.AcceptedThroughput <= 0 {
+				t.Fatalf("%s arm produced no traffic", arm.name)
+			}
+			if d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+
+	perCycle := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / cycles }
+	base, off, on := perCycle(best[0]), perCycle(best[1]), perCycle(best[2])
+	offPct := 100 * (off - base) / base
+	onPct := 100 * (on - base) / base
+
+	report := map[string]float64{
+		"base_ns_per_cycle": base,
+		"off_ns_per_cycle":  off,
+		"on_ns_per_cycle":   on,
+		"off_overhead_pct":  offPct,
+		"on_overhead_pct":   onPct,
+	}
+	out := os.Getenv("BENCH_TELEMETRY_OUT")
+	if out == "" {
+		out = "BENCH_telemetry.json"
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base %.1f ns/cycle, off %+.2f%%, on %+.2f%% (%s)", base, offPct, onPct, out)
+
+	if offPct > 2 {
+		t.Fatalf("telemetry-off overhead %.2f%% exceeds the 2%% guard (base %.1f, off %.1f ns/cycle)", offPct, base, off)
+	}
+}
