@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-telemetry experiments quick-experiments fmt vet clean
+.PHONY: all check build test race bench bench-core bench-compare bench-telemetry experiments quick-experiments fmt vet clean
 
 all: check
 
 # check is the default verification path: build, tests, vet, the full
 # suite under the race detector (the sweep engine and the parallel
-# subnet mode both rely on race-clean concurrency), and the telemetry
-# zero-overhead guard.
-check: build test race bench-telemetry
+# subnet mode both rely on race-clean concurrency), the telemetry
+# zero-overhead guard, and the core stepping-cost guard.
+check: build test race bench-telemetry bench-core
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,31 @@ bench:
 # base — the "free when off" guard.
 bench-telemetry:
 	TELEMETRY_GUARD=1 $(GO) test -run TestTelemetryOverheadGuard -count=1 .
+
+# bench-core times Network.Step across load/gating scenarios on both the
+# incremental path and the reference-scan path (min-of-5, interleaved),
+# writes BENCH_core.json (ns/cycle, B/cycle, speedup per scenario), and
+# fails if the low-load gated speedup regresses below 3x — the
+# O(active)-stepping guard. See DESIGN.md "Hot path".
+bench-core:
+	CORE_BENCH=1 $(GO) test -run TestCoreBenchGuard -count=1 -timeout 30m .
+
+# bench-compare runs the BenchmarkStep family twice (HEAD vs your
+# working tree, or just repeatedly) and diffs with benchstat. benchstat
+# is not vendored; install it once with:
+#   go install golang.org/x/perf/cmd/benchstat@latest
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "bench-compare: benchstat not found in PATH."; \
+		echo "install it with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+		exit 1; }
+	$(GO) test -run xxx -bench BenchmarkStep -benchmem -count=10 . | tee bench_new.txt
+	@if [ -f bench_old.txt ]; then \
+		benchstat bench_old.txt bench_new.txt; \
+	else \
+		cp bench_new.txt bench_old.txt; \
+		echo "bench-compare: saved baseline to bench_old.txt; rerun after changes to compare."; \
+	fi
 
 # Regenerate every table/figure at full scale into results/ (slow: ~1h).
 experiments:
@@ -53,4 +78,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_telemetry.json
+	rm -f test_output.txt bench_output.txt BENCH_telemetry.json BENCH_core.json bench_old.txt bench_new.txt

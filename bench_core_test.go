@@ -1,0 +1,177 @@
+package catnap
+
+// The core stepping benchmark harness: BenchmarkStep times Network.Step
+// across the load x subnets x gating matrix, each scenario in both
+// stepping modes (the /ref sub-benchmarks run the retained reference
+// scan, so `go test -bench Step` + benchstat compares the incremental
+// path against the pre-optimization implementation on the same tree).
+// TestCoreBenchGuard is the `make bench-core` entry point: it reruns the
+// matrix interleaved min-of-N, writes BENCH_core.json, and enforces the
+// headline regression bound — the sleep-dominated low-load scenario must
+// step at least 3x faster than the reference scan.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// coreScenario is one point of the benchmark matrix. Scenarios span the
+// regimes the optimization cares about: a fully idle gated mesh (every
+// router asleep — the O(active) best case), the paper's low-load region,
+// the Figure 12 burst schedule (sleep/wake churn), saturation (dense
+// occupancy, congestion churn — the no-win-available case), and an
+// ungated single-subnet design (no power phase work at all).
+type coreScenario struct {
+	name   string
+	design string
+	sched  traffic.Schedule
+}
+
+const (
+	coreBenchWarmup  = 500
+	coreBenchMeasure = 4500
+	coreBenchCycles  = coreBenchWarmup + coreBenchMeasure
+)
+
+var coreScenarios = []coreScenario{
+	{"idle-gated", "4NT-128b-PG", traffic.Constant(0)},
+	{"lowload-gated", "4NT-128b-PG", traffic.Constant(0.02)},
+	{"bursty-gated", "4NT-128b-PG", traffic.Fig12Bursts()},
+	{"saturation-gated", "4NT-128b-PG", traffic.Constant(0.45)},
+	{"ungated-1NT", "1NT-512b", traffic.Constant(0.10)},
+}
+
+// runCoreScenario executes one fixed-length run and returns its results.
+func runCoreScenario(sc coreScenario, ref bool) Results {
+	sim := mustSim(mustDesign(sc.design))
+	sim.SetReferenceScan(ref)
+	return sim.RunSynthetic(traffic.UniformRandom{}, sc.sched, coreBenchWarmup, coreBenchMeasure)
+}
+
+// BenchmarkStep times one full fixed-length run per iteration for every
+// scenario; the /ref variants use the reference scan. The ns/cycle
+// metric is the per-cycle stepping cost (simulator construction
+// included, amortized over 5000 cycles).
+func BenchmarkStep(b *testing.B) {
+	for _, sc := range coreScenarios {
+		for _, ref := range []bool{false, true} {
+			name := sc.name
+			if ref {
+				name += "/ref"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runCoreScenario(sc, ref)
+				}
+				perCycle := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / coreBenchCycles
+				b.ReportMetric(perCycle, "ns/cycle")
+			})
+		}
+	}
+}
+
+// coreBenchRow is one scenario's entry in BENCH_core.json. The ref
+// columns are the pre-optimization baseline measured on the same tree
+// and machine (the reference scan is the original implementation, kept
+// verbatim), so the speedup column is machine-independent.
+type coreBenchRow struct {
+	FastNsPerCycle    float64 `json:"fast_ns_per_cycle"`
+	RefNsPerCycle     float64 `json:"ref_ns_per_cycle"`
+	Speedup           float64 `json:"speedup"`
+	FastBytesPerCycle float64 `json:"fast_bytes_per_cycle"`
+	RefBytesPerCycle  float64 `json:"ref_bytes_per_cycle"`
+}
+
+// TestCoreBenchGuard is the `make bench-core` guard: min-of-N wall clock
+// and allocation for every scenario in both modes, interleaved so
+// machine noise hits both arms alike, written to BENCH_core.json. It
+// fails if the incremental path steps the low-load scenario less than 3x
+// faster than the reference scan. Gated behind CORE_BENCH=1 because
+// wall-clock assertions do not belong in the default -race test run.
+func TestCoreBenchGuard(t *testing.T) {
+	if os.Getenv("CORE_BENCH") == "" {
+		t.Skip("set CORE_BENCH=1 (or run `make bench-core`) to run the core stepping benchmark")
+	}
+
+	const reps = 5
+	type arm struct {
+		sc  coreScenario
+		ref bool
+	}
+	var arms []arm
+	for _, sc := range coreScenarios {
+		arms = append(arms, arm{sc, false}, arm{sc, true})
+	}
+
+	bestNs := make([]time.Duration, len(arms))
+	bestBytes := make([]uint64, len(arms))
+	for i := range arms {
+		bestNs[i] = time.Duration(1<<63 - 1)
+		bestBytes[i] = 1<<64 - 1
+	}
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < reps; r++ {
+		for i, a := range arms {
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			res := runCoreScenario(a.sc, a.ref)
+			d := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if a.sc.name != "idle-gated" && res.AcceptedThroughput <= 0 {
+				t.Fatalf("%s produced no traffic", a.sc.name)
+			}
+			if d < bestNs[i] {
+				bestNs[i] = d
+			}
+			if alloc := ms1.TotalAlloc - ms0.TotalAlloc; alloc < bestBytes[i] {
+				bestBytes[i] = alloc
+			}
+		}
+	}
+
+	report := struct {
+		Cycles    int64                   `json:"cycles_per_run"`
+		Reps      int                     `json:"reps_min_of"`
+		Scenarios map[string]coreBenchRow `json:"scenarios"`
+	}{Cycles: coreBenchCycles, Reps: reps, Scenarios: map[string]coreBenchRow{}}
+
+	perCycle := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / coreBenchCycles }
+	for i := 0; i < len(arms); i += 2 {
+		sc := arms[i].sc
+		row := coreBenchRow{
+			FastNsPerCycle:    perCycle(bestNs[i]),
+			RefNsPerCycle:     perCycle(bestNs[i+1]),
+			FastBytesPerCycle: float64(bestBytes[i]) / coreBenchCycles,
+			RefBytesPerCycle:  float64(bestBytes[i+1]) / coreBenchCycles,
+		}
+		row.Speedup = row.RefNsPerCycle / row.FastNsPerCycle
+		report.Scenarios[sc.name] = row
+		t.Logf("%-18s fast %8.1f ns/cycle  ref %8.1f ns/cycle  speedup %.2fx",
+			sc.name, row.FastNsPerCycle, row.RefNsPerCycle, row.Speedup)
+	}
+
+	out := os.Getenv("BENCH_CORE_OUT")
+	if out == "" {
+		out = "BENCH_core.json"
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("core stepping benchmark written to %s\n", out)
+
+	if sp := report.Scenarios["lowload-gated"].Speedup; sp < 3.0 {
+		t.Fatalf("lowload-gated speedup %.2fx below the 3x guard (fast %.1f ns/cycle, ref %.1f ns/cycle)",
+			sp, report.Scenarios["lowload-gated"].FastNsPerCycle, report.Scenarios["lowload-gated"].RefNsPerCycle)
+	}
+}

@@ -12,6 +12,10 @@
 // labeled collector per load (see internal/telemetry for the schema)
 // and also record sweep-point lifecycle events.
 //
+// -cpuprofile and -memprofile write pprof profiles of the whole sweep
+// (all workers), for digging into simulator hot paths at realistic
+// loads.
+//
 // Example:
 //
 //	catnap-sweep -design 4NT-128b-PG -pattern transpose -loads 0.02,0.05,0.1,0.2
@@ -27,6 +31,7 @@ import (
 	"strings"
 
 	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/prof"
 	"github.com/catnap-noc/catnap/internal/runner"
 	"github.com/catnap-noc/catnap/internal/telemetry"
 	"github.com/catnap-noc/catnap/internal/trace"
@@ -46,25 +51,45 @@ var (
 	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, point lifecycle) to this JSONL file")
 	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
+	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 )
 
 func main() {
 	flag.Parse()
+	// Route every exit through sweep's return so the deferred profile
+	// stop runs (os.Exit would skip it and truncate the CPU profile).
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catnap-sweep:", err)
+		os.Exit(1)
+	}
+	err = sweep()
+	if perr := stopProf(); err == nil && perr != nil {
+		err = fmt.Errorf("profile: %w", perr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catnap-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func sweep() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	pat, err := traffic.PatternByName(*pattern)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	loads, err := parseLoads(*loadsStr)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if _, err := catnap.Design(*design); err != nil {
-		fail(err)
+		return err
 	}
 	if *traceFile != "" && len(loads) > 1 {
-		fail(fmt.Errorf("-trace records one run's packets; use a single -loads value"))
+		return fmt.Errorf("-trace records one run's packets; use a single -loads value")
 	}
 
 	var rec *telemetry.Recorder
@@ -74,7 +99,7 @@ func main() {
 		if *eventsFile != "" {
 			f, err := os.Create(*eventsFile)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			eventsOut = f
 			topts.Events = f
@@ -139,11 +164,11 @@ func main() {
 	results, err := runner.Values(runner.Run(ctx, pts, runner.Options{Jobs: *jobs, Progress: sweepProg}))
 	prog.Finish()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if rec != nil {
 		if err := exportTelemetry(rec, eventsOut); err != nil {
-			fail(err)
+			return err
 		}
 	}
 
@@ -161,6 +186,7 @@ func main() {
 			res.Power.Total, res.CSCPercent, res.ActiveRouterFraction,
 			strings.Join(shares, ","))
 	}
+	return nil
 }
 
 func parseLoads(s string) ([]float64, error) {
@@ -209,9 +235,4 @@ func exportTelemetry(rec *telemetry.Recorder, eventsOut *os.File) error {
 		err = cerr
 	}
 	return err
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "catnap-sweep:", err)
-	os.Exit(1)
 }

@@ -34,6 +34,8 @@
 //	-events      stream telemetry events to this JSONL file
 //	-window      telemetry/fig12 series window in cycles (0 = the paper's 50)
 //	-v           log every sweep point as it completes
+//	-cpuprofile  write a pprof CPU profile of the run to this file
+//	-memprofile  write a pprof heap profile at exit to this file
 package main
 
 import (
@@ -46,6 +48,7 @@ import (
 	"text/tabwriter"
 
 	catnap "github.com/catnap-noc/catnap"
+	"github.com/catnap-noc/catnap/internal/prof"
 	"github.com/catnap-noc/catnap/internal/runner"
 	"github.com/catnap-noc/catnap/internal/telemetry"
 )
@@ -61,19 +64,39 @@ var (
 	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, sweep lifecycle) to this JSONL file")
 	window      = flag.Int64("window", 0, "telemetry/fig12 series window in cycles (0 = the paper's 50)")
 	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
+	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 )
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	// os.Exit skips deferred calls, so the exit code is computed in
+	// mainCode, whose defers (profile stop) run before the process exits.
+	os.Exit(mainCode())
+}
+
+func mainCode() (code int) {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catnap:", err)
+		return 1
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "catnap: profile:", perr)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	var err error
 	switch flag.NArg() {
 	case 0:
 		if *experimentF == "" {
 			usage()
-			os.Exit(2)
+			return 2
 		}
 		err = run(ctx, *experimentF)
 	case 1:
@@ -85,17 +108,18 @@ func main() {
 	case 2:
 		if flag.Arg(0) != "ablation" {
 			usage()
-			os.Exit(2)
+			return 2
 		}
 		err = runAblation(flag.Arg(1))
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "catnap:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // run executes one registry experiment (or a listing command) and

@@ -8,6 +8,7 @@ package congestion
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/catnap-noc/catnap/internal/noc"
 )
@@ -167,6 +168,21 @@ type Detector struct {
 	lastHot []int64 // last cycle the raw metric exceeded Threshold
 	rcs     []bool  // [subnet*regions + region], latched every RCSPeriod
 
+	// refScan selects the retained full-mesh scan in AfterCycle; the
+	// default fast path visits only candidate nodes (nonzero raw metric
+	// or LCS currently set), which is exact because a zero sample can
+	// neither set an LCS (Threshold >= 0) nor clear one that is not set.
+	refScan bool
+	// lcsBits[s] mirrors lcs as a bitmap over node ids, maintained in
+	// both modes.
+	lcsBits [][]uint64
+	// hotBits[s] marks nodes whose windowed rate (IR, Delay) currently
+	// exceeds Threshold; rebuilt at each window close, constant between.
+	hotBits [][]uint64
+	// epoch counts LCS/RCS changes; gating policies expose it as their
+	// decision epoch so the power phase can skip steady-state routers.
+	epoch uint64
+
 	// Window state for IR and Delay.
 	winStart     int64
 	prevInjected []int64 // per node (IR), packets
@@ -230,8 +246,26 @@ func NewDetector(net *noc.Network, cfg Config) *Detector {
 	for n := 0; n < d.nodes; n++ {
 		d.nodeRegion[n] = mesh.Region(n)
 	}
+	words := (d.nodes + 63) / 64
+	d.lcsBits = make([][]uint64, d.subnets)
+	d.hotBits = make([][]uint64, d.subnets)
+	for s := range d.lcsBits {
+		d.lcsBits[s] = make([]uint64, words)
+		d.hotBits[s] = make([]uint64, words)
+	}
 	return d
 }
+
+// SetReferenceScan switches the detector between the incremental
+// candidate-driven sampling path (default) and the retained full-mesh
+// scan. Both latch identical LCS/RCS sequences; the scan exists for
+// differential tests and honest benchmark baselines.
+func (d *Detector) SetReferenceScan(on bool) { d.refScan = on }
+
+// Epoch returns a counter that changes on every LCS or RCS transition.
+// Gating policies that are pure functions of detector state expose it via
+// noc.EpochedPolicy.
+func (d *Detector) Epoch() uint64 { return d.epoch }
 
 // Config returns the detector's configuration.
 func (d *Detector) Config() Config { return d.cfg }
@@ -276,7 +310,13 @@ func (d *Detector) Congested(subnet, node int) bool {
 }
 
 // AfterCycle implements noc.CycleObserver: it refreshes every LCS from the
-// configured metric and latches the OR network on its period.
+// configured metric and latches the OR network on its period. The fast
+// path visits only candidate nodes — those whose raw metric can be
+// nonzero this cycle (occupied routers, nonempty NI queues, or a hot
+// windowed rate) plus those whose LCS is set and may need clearing. Every
+// skipped node would have sampled zero against a non-negative threshold
+// with its LCS already clear: a no-op in the reference scan too, so the
+// latched sequences are identical.
 func (d *Detector) AfterCycle(now int64) {
 	windowEnd := now-d.winStart >= d.cfg.WindowCycles
 	if windowEnd {
@@ -284,20 +324,32 @@ func (d *Detector) AfterCycle(now int64) {
 		d.winStart = now
 	}
 
-	for s := 0; s < d.subnets; s++ {
-		for n := 0; n < d.nodes; n++ {
-			raw := d.sample(s, n)
-			idx := s*d.nodes + n
-			if raw > d.cfg.Threshold {
-				if !d.lcs[idx] && d.tracer != nil {
-					d.tracer.LCSChanged(now, s, n, true)
-				}
-				d.lcs[idx] = true
-				d.lastHot[idx] = now
-			} else if d.lcs[idx] && raw < d.cfg.ClearThreshold && now-d.lastHot[idx] >= d.cfg.HoldCycles {
-				d.lcs[idx] = false
-				if d.tracer != nil {
-					d.tracer.LCSChanged(now, s, n, false)
+	if d.refScan || d.cfg.Threshold < 0 {
+		for s := 0; s < d.subnets; s++ {
+			for n := 0; n < d.nodes; n++ {
+				d.updateLCS(now, s, n, d.sampleScan(s, n))
+			}
+		}
+	} else {
+		for s := 0; s < d.subnets; s++ {
+			var cand []uint64
+			switch d.cfg.Metric {
+			case BFM, BFA:
+				cand = d.net.Subnet(s).OccupiedBits()
+			case IQOcc:
+				cand = d.net.NIQueuedBits()
+			case IR, Delay:
+				cand = d.hotBits[s]
+			default:
+				panic("congestion: unknown metric")
+			}
+			lb := d.lcsBits[s]
+			for i := range lb {
+				w := cand[i] | lb[i]
+				for w != 0 {
+					n := i<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					d.updateLCS(now, s, n, d.sample(s, n))
 				}
 			}
 		}
@@ -305,6 +357,30 @@ func (d *Detector) AfterCycle(now int64) {
 
 	if d.cfg.UseRCS && now%d.cfg.RCSPeriod == 0 {
 		d.latchRCS(now)
+	}
+}
+
+// updateLCS applies one node's set/clear-with-hysteresis step given its
+// raw metric sample — the shared per-node body of both sampling paths.
+func (d *Detector) updateLCS(now int64, s, n int, raw float64) {
+	idx := s*d.nodes + n
+	if raw > d.cfg.Threshold {
+		if !d.lcs[idx] {
+			if d.tracer != nil {
+				d.tracer.LCSChanged(now, s, n, true)
+			}
+			d.lcsBits[s][n>>6] |= 1 << (uint(n) & 63)
+			d.epoch++
+		}
+		d.lcs[idx] = true
+		d.lastHot[idx] = now
+	} else if d.lcs[idx] && raw < d.cfg.ClearThreshold && now-d.lastHot[idx] >= d.cfg.HoldCycles {
+		d.lcs[idx] = false
+		d.lcsBits[s][n>>6] &^= 1 << (uint(n) & 63)
+		d.epoch++
+		if d.tracer != nil {
+			d.tracer.LCSChanged(now, s, n, false)
+		}
 	}
 }
 
@@ -322,6 +398,20 @@ func (d *Detector) sample(subnet, node int) float64 {
 		return d.rate[subnet*d.nodes+node]
 	default:
 		panic("congestion: unknown metric")
+	}
+}
+
+// sampleScan is sample for the reference path: the occupancy metrics
+// rescan the router's ports instead of reading the maintained counters.
+func (d *Detector) sampleScan(subnet, node int) float64 {
+	switch d.cfg.Metric {
+	case BFM:
+		return float64(d.net.Subnet(subnet).Router(node).MaxPortOccupancyScan())
+	case BFA:
+		r := d.net.Subnet(subnet).Router(node)
+		return float64(r.TotalOccupancyScan()) / 5
+	default:
+		return d.sample(subnet, node)
 	}
 }
 
@@ -362,10 +452,27 @@ func (d *Detector) closeWindow(now int64) {
 				}
 			}
 		}
+	default:
+		return // occupancy metrics have no window state
+	}
+	// Refresh the hot-node candidate bitmaps; the rates just computed stay
+	// constant until the next window close.
+	for s := 0; s < d.subnets; s++ {
+		hb := d.hotBits[s]
+		for i := range hb {
+			hb[i] = 0
+		}
+		for n := 0; n < d.nodes; n++ {
+			if d.rate[s*d.nodes+n] > d.cfg.Threshold {
+				hb[n>>6] |= 1 << (uint(n) & 63)
+			}
+		}
 	}
 }
 
 // latchRCS recomputes every region's OR output from current LCS values.
+// The fast path ORs over the set-LCS bitmap instead of scanning every
+// node; the result is the same OR.
 func (d *Detector) latchRCS(now int64) {
 	d.rcsE.Latches++
 	if d.orScratch == nil {
@@ -376,9 +483,19 @@ func (d *Detector) latchRCS(now int64) {
 		for i := range regionOr {
 			regionOr[i] = false
 		}
-		for n := 0; n < d.nodes; n++ {
-			if d.lcs[s*d.nodes+n] {
-				regionOr[d.nodeRegion[n]] = true
+		if d.refScan {
+			for n := 0; n < d.nodes; n++ {
+				if d.lcs[s*d.nodes+n] {
+					regionOr[d.nodeRegion[n]] = true
+				}
+			}
+		} else {
+			for i, w := range d.lcsBits[s] {
+				for w != 0 {
+					n := i<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					regionOr[d.nodeRegion[n]] = true
+				}
 			}
 		}
 		for rg := 0; rg < d.regions; rg++ {
@@ -386,6 +503,7 @@ func (d *Detector) latchRCS(now int64) {
 			if d.rcs[idx] != regionOr[rg] {
 				d.rcsE.Toggles++
 				d.rcs[idx] = regionOr[rg]
+				d.epoch++
 				if d.tracer != nil {
 					d.tracer.RCSChanged(now, s, rg, regionOr[rg])
 				}

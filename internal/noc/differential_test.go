@@ -1,0 +1,353 @@
+package noc_test
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/congestion"
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// The differential tests pin the tentpole property of the O(active)
+// stepping path: the incremental work-list implementation must be
+// bit-identical to the retained reference scan — same deliveries, same
+// latency distribution, same power events and transition traces, same
+// congestion decisions — under every gating flavor, sequentially and
+// with ParallelSubnets.
+
+// diffEvent is one power or congestion transition, as seen by tracers.
+type diffEvent struct {
+	cycle        int64
+	kind         int8 // 0 slept, 1 woke, 2 lcs, 3 rcs
+	subnet, node int
+	aux          int64 // idle (slept), slept (woke), on/off (lcs, rcs)
+	cause        noc.WakeCause
+}
+
+// diffTracer records transitions; a mutex guards it because parallel
+// subnets may trace concurrently.
+type diffTracer struct {
+	mu     sync.Mutex
+	events []diffEvent
+}
+
+func (t *diffTracer) RouterSlept(now int64, subnet, node int, idle int64) {
+	t.mu.Lock()
+	t.events = append(t.events, diffEvent{cycle: now, kind: 0, subnet: subnet, node: node, aux: idle})
+	t.mu.Unlock()
+}
+
+func (t *diffTracer) RouterWoke(now int64, subnet, node int, cause noc.WakeCause, slept int64) {
+	t.mu.Lock()
+	t.events = append(t.events, diffEvent{cycle: now, kind: 1, subnet: subnet, node: node, aux: slept, cause: cause})
+	t.mu.Unlock()
+}
+
+func (t *diffTracer) LCSChanged(now int64, subnet, node int, on bool) {
+	t.mu.Lock()
+	t.events = append(t.events, diffEvent{cycle: now, kind: 2, subnet: subnet, node: node, aux: b2i(on)})
+	t.mu.Unlock()
+}
+
+func (t *diffTracer) RCSChanged(now int64, subnet, region int, on bool) {
+	t.mu.Lock()
+	t.events = append(t.events, diffEvent{cycle: now, kind: 3, subnet: subnet, node: region, aux: b2i(on)})
+	t.mu.Unlock()
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sortEvents orders a transition log canonically. Within one cycle the
+// parallel subnets trace in nondeterministic interleaving (each subnet's
+// own stream stays ordered), so cross-mode comparisons use the sorted
+// log; sequential-vs-sequential comparisons check the raw order too.
+func sortEvents(ev []diffEvent) {
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.cycle != b.cycle {
+			return a.cycle < b.cycle
+		}
+		if a.subnet != b.subnet {
+			return a.subnet < b.subnet
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.aux < b.aux
+	})
+}
+
+// opaqueGating hides a policy's EpochedPolicy implementation, forcing the
+// incremental power phase onto its every-cycle polling fallback.
+type opaqueGating struct{ p noc.GatingPolicy }
+
+func (o opaqueGating) AllowSleep(now int64, subnet, node int, idle int64) bool {
+	return o.p.AllowSleep(now, subnet, node, idle)
+}
+func (o opaqueGating) WantWake(now int64, subnet, node int) bool {
+	return o.p.WantWake(now, subnet, node)
+}
+
+// diffFingerprint is everything one run exposes to comparison.
+type diffFingerprint struct {
+	cycleHash []uint64 // rolling per-cycle hash of sampled aggregates
+	events    []diffEvent
+	ejected   int64
+	latMean   float64
+	latP50    int64
+	latP99    int64
+	powEvents noc.PowerEvents
+	csc       int64
+	share     []float64
+}
+
+// diffProbe samples settled per-cycle state into a rolling hash, and (on
+// the incremental arm) cross-checks every aggregate against its scan.
+type diffProbe struct {
+	t     *testing.T
+	net   *noc.Network
+	hash  uint64
+	out   *[]uint64
+	check bool
+}
+
+func (p *diffProbe) AfterCycle(now int64) {
+	h := p.hash
+	mix := func(v uint64) { h = (h ^ v) * 1099511628211 }
+	for s := 0; s < p.net.Subnets(); s++ {
+		sub := p.net.Subnet(s)
+		a, w, z := sub.PowerStates()
+		mix(uint64(a)<<32 | uint64(w)<<16 | uint64(z))
+		mix(uint64(sub.BufferedFlits()))
+		mix(uint64(sub.MaxBFM()))
+	}
+	mix(uint64(p.net.NIQueueFlits()))
+	mix(uint64(p.net.InFlight()))
+	p.hash = h
+	*p.out = append(*p.out, h)
+
+	if p.check && now%97 == 0 {
+		for s := 0; s < p.net.Subnets(); s++ {
+			sub := p.net.Subnet(s)
+			a, w, z := sub.PowerStates()
+			as, ws, zs := sub.PowerStatesScan()
+			if a != as || w != ws || z != zs {
+				p.t.Fatalf("cycle %d subnet %d: PowerStates (%d,%d,%d) != scan (%d,%d,%d)", now, s, a, w, z, as, ws, zs)
+			}
+			if got, want := sub.BufferedFlits(), sub.BufferedFlitsScan(); got != want {
+				p.t.Fatalf("cycle %d subnet %d: BufferedFlits %d != scan %d", now, s, got, want)
+			}
+			if got, want := sub.MaxBFM(), sub.MaxBFMScan(); got != want {
+				p.t.Fatalf("cycle %d subnet %d: MaxBFM %d != scan %d", now, s, got, want)
+			}
+			for n := 0; n < p.net.Config().Nodes(); n++ {
+				r := sub.Router(n)
+				if r.TotalOccupancy() != r.TotalOccupancyScan() || r.MaxPortOccupancy() != r.MaxPortOccupancyScan() {
+					p.t.Fatalf("cycle %d subnet %d router %d: occupancy counters drifted from scan", now, s, n)
+				}
+			}
+		}
+	}
+}
+
+// diffRun executes the full stack for cycles and fingerprints it.
+// flipAt, when non-empty, toggles the stepping mode at those cycles
+// (mid-run switch support).
+func diffRun(t *testing.T, gating string, parallel, ref bool, sched traffic.Schedule, cycles int, flipAt ...int) diffFingerprint {
+	t.Helper()
+	cfg := testConfig(8, 8, 4, 128)
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &diffTracer{}
+	net.SetPowerTracer(tr)
+
+	var det *congestion.Detector
+	switch gating {
+	case "catnap", "opaque":
+		det = congestion.NewDetector(net, congestion.Default(congestion.BFM))
+		det.SetTracer(tr)
+		net.AddObserver(det)
+		net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
+		if gating == "catnap" {
+			net.SetGatingPolicy(core.NewCatnapGating(det))
+		} else {
+			net.SetGatingPolicy(opaqueGating{p: core.NewCatnapGating(det)})
+		}
+	case "baseline":
+		net.SetGatingPolicy(core.BaselineGating{})
+	case "none":
+	default:
+		t.Fatalf("unknown gating flavor %q", gating)
+	}
+
+	fp := diffFingerprint{}
+	probe := &diffProbe{t: t, net: net, out: &fp.cycleHash, check: !ref && len(flipAt) == 0}
+	net.AddObserver(probe)
+
+	net.SetReferenceScan(ref)
+	if det != nil {
+		det.SetReferenceScan(ref)
+	}
+	net.SetParallel(parallel)
+
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, sched, 99)
+	mode := ref
+	flips := append([]int(nil), flipAt...)
+	for i := 0; i < cycles; i++ {
+		if len(flips) > 0 && i == flips[0] {
+			flips = flips[1:]
+			mode = !mode
+			net.SetReferenceScan(mode)
+			if det != nil {
+				det.SetReferenceScan(mode)
+			}
+		}
+		gen.Tick(net.Now())
+		net.Step()
+	}
+
+	_, _, fp.ejected = net.Counts()
+	fp.latMean = net.Latency().Mean()
+	fp.latP50 = net.Latency().Percentile(50)
+	fp.latP99 = net.Latency().Percentile(99)
+	fp.powEvents = net.Events()
+	net.FlushCSC()
+	fp.csc, _ = net.CompensatedSleepCycles()
+	fp.share = net.SubnetFlitShare()
+	fp.events = tr.events
+	return fp
+}
+
+// compareFingerprints fails the test on the first divergence between a
+// reference-scan run and an incremental run.
+func compareFingerprints(t *testing.T, name string, ref, fast diffFingerprint, exactOrder bool) {
+	t.Helper()
+	if len(ref.cycleHash) != len(fast.cycleHash) {
+		t.Fatalf("%s: cycle hash lengths differ", name)
+	}
+	for i := range ref.cycleHash {
+		if ref.cycleHash[i] != fast.cycleHash[i] {
+			t.Fatalf("%s: per-cycle state diverges first at cycle %d", name, i)
+		}
+	}
+	if ref.ejected != fast.ejected || ref.ejected == 0 {
+		t.Errorf("%s: ejected ref %d vs fast %d", name, ref.ejected, fast.ejected)
+	}
+	if ref.latMean != fast.latMean || ref.latP50 != fast.latP50 || ref.latP99 != fast.latP99 {
+		t.Errorf("%s: latency distribution diverged (mean %v vs %v, p50 %d vs %d, p99 %d vs %d)",
+			name, ref.latMean, fast.latMean, ref.latP50, fast.latP50, ref.latP99, fast.latP99)
+	}
+	if ref.powEvents != fast.powEvents {
+		t.Errorf("%s: power events diverge\nref:  %+v\nfast: %+v", name, ref.powEvents, fast.powEvents)
+	}
+	if ref.csc != fast.csc {
+		t.Errorf("%s: CSC ref %d vs fast %d", name, ref.csc, fast.csc)
+	}
+	for s := range ref.share {
+		if math.Abs(ref.share[s]-fast.share[s]) != 0 {
+			t.Errorf("%s: subnet %d flit share ref %v vs fast %v", name, s, ref.share[s], fast.share[s])
+		}
+	}
+	if !exactOrder {
+		sortEvents(ref.events)
+		sortEvents(fast.events)
+	}
+	if len(ref.events) != len(fast.events) {
+		t.Fatalf("%s: transition counts differ: ref %d vs fast %d", name, len(ref.events), len(fast.events))
+	}
+	for i := range ref.events {
+		if ref.events[i] != fast.events[i] {
+			t.Fatalf("%s: transition %d diverges: ref %+v vs fast %+v", name, i, ref.events[i], fast.events[i])
+		}
+	}
+}
+
+// TestIncrementalMatchesReferenceScan is the tentpole differential: for
+// every gating flavor (Catnap epoched, Catnap with the epoch interface
+// hidden, baseline, and no gating), the incremental O(active) path must
+// reproduce the reference scan bit for bit, including the exact order of
+// sleep/wake/LCS/RCS transitions.
+func TestIncrementalMatchesReferenceScan(t *testing.T) {
+	const cycles = 3000
+	for _, gating := range []string{"catnap", "opaque", "baseline", "none"} {
+		ref := diffRun(t, gating, false, true, traffic.Fig12Bursts(), cycles)
+		fast := diffRun(t, gating, false, false, traffic.Fig12Bursts(), cycles)
+		compareFingerprints(t, gating+"/bursty", ref, fast, true)
+	}
+}
+
+// TestIncrementalMatchesReferenceScanLoads covers the load extremes: the
+// sleep-dominated low-load region (long idle streaks, epoch-skipped
+// polls) and a saturated run (dense occupancy, congestion churn).
+func TestIncrementalMatchesReferenceScanLoads(t *testing.T) {
+	const cycles = 2500
+	for _, load := range []float64{0.02, 0.35} {
+		ref := diffRun(t, "catnap", false, true, traffic.Constant(load), cycles)
+		fast := diffRun(t, "catnap", false, false, traffic.Constant(load), cycles)
+		compareFingerprints(t, "catnap/load", ref, fast, true)
+	}
+}
+
+// TestIncrementalMatchesReferenceScanParallel repeats the differential
+// with ParallelSubnets: the per-subnet aggregates must stay subnet-local
+// (the race detector sees this test) and the results bit-identical.
+// Transition order across subnets is nondeterministic under parallel
+// execution, so logs are compared canonically sorted.
+func TestIncrementalMatchesReferenceScanParallel(t *testing.T) {
+	const cycles = 3000
+	for _, gating := range []string{"catnap", "baseline"} {
+		ref := diffRun(t, gating, true, true, traffic.Fig12Bursts(), cycles)
+		fast := diffRun(t, gating, true, false, traffic.Fig12Bursts(), cycles)
+		compareFingerprints(t, gating+"/parallel", ref, fast, false)
+	}
+}
+
+// TestReferenceScanFlipMidRun switches between the two stepping modes
+// mid-run: the idle-streak conversion and check re-arming must land the
+// flipped run exactly on the always-incremental trajectory.
+func TestReferenceScanFlipMidRun(t *testing.T) {
+	const cycles = 2400
+	base := diffRun(t, "catnap", false, false, traffic.Fig12Bursts(), cycles)
+	flipped := diffRun(t, "catnap", false, false, traffic.Fig12Bursts(), cycles, 700, 1500)
+	compareFingerprints(t, "flip", base, flipped, true)
+}
+
+// TestDrainedQuiescenceIncremental drains a gated run on the incremental
+// path and checks the full quiescence invariant, which now includes the
+// incremental aggregates matching their scans.
+func TestDrainedQuiescenceIncremental(t *testing.T) {
+	cfg := testConfig(8, 8, 4, 128)
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := congestion.NewDetector(net, congestion.Default(congestion.BFM))
+	net.AddObserver(det)
+	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
+	net.SetGatingPolicy(core.NewCatnapGating(det))
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Constant(0.15), 7)
+	for i := 0; i < 2000; i++ {
+		gen.Tick(net.Now())
+		net.Step()
+	}
+	if !net.Drain(20000) {
+		t.Fatal("network failed to drain")
+	}
+	if err := net.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -258,3 +258,68 @@ func TestPowerStateString(t *testing.T) {
 		t.Error("state names changed")
 	}
 }
+
+// TestWheelDelayCrossesWheelSize pins the staging wheel's wrap behavior
+// at its capacity boundary: staged between cycles, the longest
+// representable delay is wheelSize-1 (delay wheelSize would alias the
+// slot the next deliver phase drains). Such an event's slot index wraps
+// below the current cycle's slot, and it must survive every intermediate
+// drain and fire exactly at its scheduled cycle — not a revolution early.
+func TestWheelDelayCrossesWheelSize(t *testing.T) {
+	net, err := New(internalConfig(), firstReady{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.subnets[0]
+	// Land mid-wheel so slot(at) < slot(base): the index computation has
+	// to wrap across a wheelSize multiple.
+	net.Run(int64(s.wheelSize*5 - 3))
+	base := net.Now()
+	at := base + int64(s.wheelSize) - 1
+	if s.slot(at) >= s.slot(base) {
+		t.Fatalf("fixture lost its wrap: slot(at)=%d slot(base)=%d", s.slot(at), s.slot(base))
+	}
+	p := &Packet{ID: 7, Dst: 0, NumFlits: 1}
+	s.stageArrival(at, 0, int(topology.North), 0, flit{pkt: p, nextPort: uint8(topology.Local)})
+	for now := base; now < at; now++ {
+		net.Step()
+		if got := s.routers[0].TotalOccupancy(); got != 0 {
+			t.Fatalf("cycle %d: flit arrived %d cycles early (occupancy %d)", now, at-now-1, got)
+		}
+	}
+	net.Step() // cycle == at: the slot comes around again and drains
+	if got := s.routers[0].TotalOccupancy(); got != 1 {
+		t.Fatalf("flit lost across wheel wrap: occupancy %d", got)
+	}
+}
+
+// TestDrainDeadline: Drain must report failure when the deadline expires
+// with packets still in flight, stop stepping at the deadline, and
+// succeed once given enough cycles.
+func TestDrainDeadline(t *testing.T) {
+	net, err := New(internalConfig(), firstReady{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := net.NewPacket(0, 3, ClassSynthetic, 1024)
+	start := net.Now()
+	// Serialization + two hops cannot complete in 2 cycles.
+	if net.Drain(2) {
+		t.Fatal("Drain reported success with a packet in flight")
+	}
+	if net.Now() != start+2 {
+		t.Fatalf("Drain overran its deadline: stepped %d cycles, budget 2", net.Now()-start)
+	}
+	if net.InFlight() != 1 {
+		t.Fatalf("in flight = %d, want 1", net.InFlight())
+	}
+	if !net.Drain(1000) {
+		t.Fatal("Drain failed with ample budget")
+	}
+	if pkt.ArriveTime == 0 {
+		t.Fatal("packet never delivered")
+	}
+	if err := net.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}

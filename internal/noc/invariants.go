@@ -54,6 +54,34 @@ func (n *Network) CheckQuiescent() error {
 			}
 		}
 	}
+	for si, s := range n.subnets {
+		if msg := s.checkAggregates(); msg != "" {
+			return fmt.Errorf("noc: subnet %d incremental aggregates: %s", si, msg)
+		}
+		if s.bufferedFlits != 0 {
+			return fmt.Errorf("noc: subnet %d reports %d buffered flits while drained", si, s.bufferedFlits)
+		}
+		for _, w := range s.occBits {
+			if w != 0 {
+				return fmt.Errorf("noc: subnet %d occupied-router bitmap not empty while drained", si)
+			}
+		}
+	}
+	if n.niQueueFlits != 0 {
+		return fmt.Errorf("noc: NI queue aggregate reports %d flits while drained", n.niQueueFlits)
+	}
+	for _, w := range n.niQBits {
+		if w != 0 {
+			return fmt.Errorf("noc: NI queued bitmap not empty while drained")
+		}
+	}
+	if !n.refScan {
+		for _, w := range n.niWorkBits {
+			if w != 0 {
+				return fmt.Errorf("noc: NI work bitmap not empty while drained")
+			}
+		}
+	}
 	for node, ni := range n.nis {
 		if ni.Backlogged() {
 			return fmt.Errorf("noc: NI %d still backlogged", node)

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"github.com/catnap-noc/catnap/internal/stats"
@@ -42,6 +43,28 @@ type Network struct {
 	netLatency *stats.Latency
 
 	parallel bool
+	// refScan selects the retained O(nodes) scan-based router/power/
+	// sampling phases instead of the incremental O(active) ones; results
+	// are bit-identical either way (the differential tests assert it).
+	refScan bool
+	// epochFn caches the gating policy's EpochedPolicy method, if it
+	// implements one, so the power phase re-evaluates asleep and
+	// sleep-blocked routers only when the policy's answers can change.
+	epochFn func() uint64
+
+	// Network-wide NI aggregates, mutated only in the sequential inject
+	// phase: total bounded-queue occupancy with a nonempty-queue bitmap
+	// (IQOcc congestion sampling, telemetry), and per-subnet injected
+	// flit totals (subnet shares without walking the NIs).
+	niQueueFlits   int
+	niQBits        []uint64
+	flitsPerSubnet []int64
+	// niWorkBits marks NIs with any packet not yet fully streamed into
+	// the network (source queue, bounded queue, or an active channel).
+	// The inject phase visits only marked NIs on the incremental path: an
+	// unmarked NI's injectPhase is a complete no-op. Set on enqueue,
+	// cleared by injectPhase itself when the NI goes fully idle.
+	niWorkBits []uint64
 
 	injectedPkts int64
 	ejectedPkts  int64
@@ -76,12 +99,73 @@ func New(cfg Config, selector SubnetSelector) (*Network, error) {
 	for i := range n.nis {
 		n.nis[i] = newNI(n, i)
 	}
+	n.niQBits = make([]uint64, (cfg.Nodes()+63)/64)
+	n.niWorkBits = make([]uint64, (cfg.Nodes()+63)/64)
+	n.flitsPerSubnet = make([]int64, cfg.Subnets)
 	return n, nil
 }
 
 // SetGatingPolicy installs (or, with nil, removes) the power-gating
-// policy. Call before stepping.
-func (n *Network) SetGatingPolicy(p GatingPolicy) { n.gating = p }
+// policy. Call before stepping. If the policy implements EpochedPolicy,
+// steady-state sleep/wake decisions are re-evaluated only when its epoch
+// moves; otherwise it is polled every cycle like the reference path.
+func (n *Network) SetGatingPolicy(p GatingPolicy) {
+	n.gating = p
+	n.epochFn = nil
+	if ep, ok := p.(EpochedPolicy); ok {
+		n.epochFn = ep.PolicyEpoch
+	}
+	if p != nil && !n.refScan {
+		for _, s := range n.subnets {
+			s.rearmChecks(n.now)
+		}
+	}
+}
+
+// SetReferenceScan switches between the incremental O(active) stepping
+// path (default) and the retained O(nodes) scan-based reference path.
+// Both produce bit-identical results; the reference path exists for
+// differential tests and as the honest pre-optimization baseline in
+// benchmark comparisons. Switching mid-run is supported: the idle-streak
+// representation is converted and sleep checks are re-armed.
+func (n *Network) SetReferenceScan(on bool) {
+	if n.refScan == on {
+		return
+	}
+	n.refScan = on
+	for _, s := range n.subnets {
+		s.refScan = on
+		for i := range s.routers {
+			r := &s.routers[i]
+			if r.state != PowerActive {
+				continue
+			}
+			if on {
+				r.emptySince = r.lastBusy + 1
+			} else {
+				r.lastBusy = r.emptySince - 1
+			}
+		}
+		if !on && n.gating != nil {
+			s.rearmChecks(n.now)
+		}
+	}
+	if !on {
+		// Entering fast mode: the work bitmap was not maintained while
+		// scanning, so rebuild it from the ground truth.
+		for i := range n.niWorkBits {
+			n.niWorkBits[i] = 0
+		}
+		for node, ni := range n.nis {
+			if ni.Backlogged() {
+				n.niWorkBits[node>>6] |= 1 << (uint(node) & 63)
+			}
+		}
+	}
+}
+
+// ReferenceScan reports whether the scan-based reference path is active.
+func (n *Network) ReferenceScan() bool { return n.refScan }
 
 // SetSelector replaces the subnet-selection policy. Policies that read
 // congestion state need the network to exist before they can be built, so
@@ -150,6 +234,7 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 	n.createdPkts++
 	n.inFlight++
 	n.nis[src].enqueue(p)
+	n.niWorkBits[src>>6] |= 1 << (uint(src) & 63)
 	return p
 }
 
@@ -169,8 +254,20 @@ func (n *Network) Step() {
 	for _, s := range n.subnets {
 		s.deliverPhase(t)
 	}
-	for _, ni := range n.nis {
-		ni.injectPhase(t)
+	if n.refScan {
+		for _, ni := range n.nis {
+			ni.injectPhase(t)
+		}
+	} else {
+		// Only NIs with pending work: injectPhase clears its own bit when
+		// the NI drains, and word snapshots make that safe mid-iteration.
+		for i, w := range n.niWorkBits {
+			for w != 0 {
+				node := i<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				n.nis[node].injectPhase(t)
+			}
+		}
 	}
 	if n.parallel {
 		var wg sync.WaitGroup
@@ -295,19 +392,38 @@ func (n *Network) CompensatedSleepCycles() (csc, routerCycles int64) {
 // windowed; this is the cumulative version used by tests).
 func (n *Network) SubnetFlitShare() []float64 {
 	total := int64(0)
-	per := make([]int64, n.cfg.Subnets)
-	for _, ni := range n.nis {
-		for s, c := range ni.FlitsPerSubnet {
-			per[s] += c
-			total += c
-		}
+	for _, c := range n.flitsPerSubnet {
+		total += c
 	}
 	share := make([]float64, n.cfg.Subnets)
 	if total == 0 {
 		return share
 	}
 	for s := range share {
-		share[s] = float64(per[s]) / float64(total)
+		share[s] = float64(n.flitsPerSubnet[s]) / float64(total)
 	}
 	return share
+}
+
+// FlitsPerSubnet returns the network-wide injected flit count per subnet
+// (the sum of every NI's FlitsPerSubnet). Callers must not modify it.
+func (n *Network) FlitsPerSubnet() []int64 { return n.flitsPerSubnet }
+
+// NIQueueFlits returns the total bounded injection-queue occupancy over
+// all NIs, in flits.
+func (n *Network) NIQueueFlits() int { return n.niQueueFlits }
+
+// NIQueuedBits exposes a bitmap over node ids with bit n set iff node n's
+// bounded injection queue is nonempty; the IQOcc congestion metric
+// iterates it instead of polling every NI. Callers must not modify it.
+func (n *Network) NIQueuedBits() []uint64 { return n.niQBits }
+
+// setNIQueued maintains the nonempty-injection-queue bitmap; each NI
+// calls it at the end of its inject phase.
+func (n *Network) setNIQueued(node int, queued bool) {
+	if queued {
+		n.niQBits[node>>6] |= 1 << (uint(node) & 63)
+	} else {
+		n.niQBits[node>>6] &^= 1 << (uint(node) & 63)
+	}
 }

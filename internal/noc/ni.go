@@ -71,6 +71,11 @@ type NI struct {
 	FlitsPerSubnet []int64
 
 	readyScratch []bool
+	// activeScratch snapshots, at the top of each inject phase, which
+	// channels were mid-stream; a channel that was streaming then and is
+	// idle afterwards just ended its router's NI-busy condition, which
+	// the incremental power path must account for lazily.
+	activeScratch []bool
 }
 
 func newNI(net *Network, node int) *NI {
@@ -88,6 +93,7 @@ func newNI(net *Network, node int) *NI {
 	}
 	ni.FlitsPerSubnet = make([]int64, cfg.Subnets)
 	ni.readyScratch = make([]bool, cfg.Subnets)
+	ni.activeScratch = make([]bool, cfg.Subnets)
 	return ni
 }
 
@@ -133,6 +139,13 @@ func (ni *NI) creditReturn(subnet, vc int) {
 func (ni *NI) injectPhase(now int64) {
 	cfg := ni.net.cfg
 
+	fast := !ni.net.refScan
+	if fast {
+		for s := range ni.channels {
+			ni.activeScratch[s] = ni.channels[s].active > 0
+		}
+	}
+
 	// Admit from the source queue while flit capacity remains. Packet
 	// flit counts are measured at subnet width (all subnets share one
 	// width by construction). A single packet larger than the whole queue
@@ -148,6 +161,7 @@ func (ni *NI) injectPhase(now int64) {
 		ni.sourceQ = ni.sourceQ[1:]
 		ni.injQ = append(ni.injQ, p)
 		ni.injQFlits += nf
+		ni.net.niQueueFlits += nf
 	}
 
 	// Head-of-line subnet selection: the head packet is assigned to a
@@ -206,6 +220,27 @@ func (ni *NI) injectPhase(now int64) {
 			break
 		}
 	}
+
+	ni.net.setNIQueued(ni.node, ni.injQFlits > 0)
+	if fast {
+		// A channel that was streaming at the previous power phase and
+		// finished this cycle ends its router's busy streak: the router
+		// was busy at cycle now-1 (a packet was mid-stream then). A
+		// packet selected and fully streamed within this same phase never
+		// spanned a power phase and must not extend the streak — exactly
+		// matching the reference path, which samples streaming state only
+		// at power phases.
+		for s := range ni.channels {
+			if ni.activeScratch[s] && ni.channels[s].active == 0 {
+				ni.net.subnets[s].routers[ni.node].noteBusyEnd(now, now-1)
+			}
+		}
+		// A fully drained NI drops out of the inject-phase work list; the
+		// next NewPacket at this node re-marks it.
+		if !ni.Backlogged() {
+			ni.net.niWorkBits[ni.node>>6] &^= 1 << (uint(ni.node) & 63)
+		}
+	}
 }
 
 // streamFlit sends the next flit of one stream into the subnet.
@@ -225,7 +260,9 @@ func (ni *NI) streamFlit(now int64, s int, ch *subnetChannel, st *pktStream) {
 	sub.events.NIFlits++
 	ni.FlitsInjected++
 	ni.FlitsPerSubnet[s]++
+	ni.net.flitsPerSubnet[s]++
 	ni.injQFlits--
+	ni.net.niQueueFlits--
 	st.nextSeq++
 	if st.nextSeq == p.NumFlits {
 		ch.busy[st.vc] = false

@@ -35,6 +35,23 @@ type GatingPolicy interface {
 	WantWake(now int64, subnet, node int) bool
 }
 
+// EpochedPolicy is an optional interface a GatingPolicy may implement to
+// let the power phase skip steady-state routers. PolicyEpoch returns a
+// counter that must change whenever any AllowSleep or WantWake answer may
+// have changed; between equal epochs both answers must be pure functions
+// of (subnet, node) — independent of now and idleCycles. The substrate
+// then re-evaluates sleeping and sleep-blocked routers only when the
+// epoch moves (plus one poll right after each sleep), instead of polling
+// every router every cycle; the observable decision sequence is identical
+// because the skipped calls could only have repeated the previous answer.
+// Policies whose answers vary with time must not implement this; they are
+// polled every cycle as before. With ParallelSubnets, PolicyEpoch is read
+// concurrently from the subnet goroutines and must be safe for that
+// (Catnap's detector mutates only in the sequential observer phase).
+type EpochedPolicy interface {
+	PolicyEpoch() uint64
+}
+
 // CycleObserver is invoked once per simulated cycle after all network
 // state has settled (phase 2 of the two-phase cycle). The congestion
 // detection machinery registers as an observer to sample buffer occupancy

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"math/bits"
+
 	"github.com/catnap-noc/catnap/internal/stats"
 	"github.com/catnap-noc/catnap/internal/topology"
 )
@@ -123,9 +125,35 @@ type Router struct {
 	// guarantees no flit is ever sent to (or stranded in) a gated router.
 	pinnedUntil int64
 	// emptySince is the first cycle of the current continuous
-	// all-buffers-empty streak (meaningless while occupied).
+	// all-buffers-empty streak (meaningless while occupied). Only the
+	// reference scan path maintains it per cycle; the incremental path
+	// derives the same idle count from lastBusy.
 	emptySince int64
-	csc        *stats.CSC
+	// lastBusy is the last cycle at which the router was (or will have
+	// been) busy at its power phase: buffers occupied, a flit pinned in
+	// flight, or the local NI mid-stream. It is updated lazily at the
+	// few events that end a busy condition, so idle(now) == now-lastBusy
+	// equals the reference path's now-emptySince+1 without per-cycle
+	// writes.
+	lastBusy int64
+	// checkAt is the cycle of the currently scheduled sleep-eligibility
+	// check (-1 none). Stale check-wheel entries are skipped by
+	// comparing against it, so rescheduling is a single overwrite.
+	checkAt int64
+	csc     *stats.CSC
+
+	// Incrementally maintained occupancy aggregates: totalOcc mirrors
+	// the sum of in[p].occupancy and maxPortOcc its maximum, updated at
+	// deliver/traverse so the per-cycle hot paths never rescan ports.
+	totalOcc   int
+	maxPortOcc int
+	// occSlots marks the non-empty (input port, VC) slots, bit p*VCs+v.
+	// Maintained at deliver (push) and traverse (pop); the allocation
+	// stages consult it on the incremental path so empty slots cost one
+	// shift instead of a VC-state load. Usable only when every slot fits
+	// in the word (slotMask); larger radices fall back to the full scan.
+	occSlots uint64
+	slotMask bool
 
 	// Congestion-metric instrumentation (cumulative; readers take deltas).
 	blockedFlitCycles int64 // eligible-but-ungranted flit cycles
@@ -148,6 +176,7 @@ func (r *Router) init(sub *Subnet, node int) {
 	r.in = make([]inputPort, radix)
 	r.out = make([]outputPort, radix)
 	r.grantedInput = make([]bool, radix)
+	r.slotMask = radix*cfg.VCs <= 64
 	local := radix - 1
 	for p := 0; p < radix; p++ {
 		ip := &r.in[p]
@@ -174,6 +203,8 @@ func (r *Router) init(sub *Subnet, node int) {
 	}
 	r.state = PowerActive
 	r.emptySince = 0
+	r.lastBusy = -1 // never busy yet: idle(now) == now+1 == now-emptySince+1
+	r.checkAt = -1
 }
 
 // State returns the router's power state.
@@ -187,8 +218,18 @@ func (r *Router) CSC() *stats.CSC { return r.csc }
 func (r *Router) PortOccupancy(p int) int { return r.in[p].occupancy }
 
 // MaxPortOccupancy returns the maximum buffered flit count over all input
-// ports — the paper's BFM local congestion metric.
-func (r *Router) MaxPortOccupancy() int {
+// ports — the paper's BFM local congestion metric. O(1): the counter is
+// maintained at deliver/traverse.
+func (r *Router) MaxPortOccupancy() int { return r.maxPortOcc }
+
+// TotalOccupancy returns the total buffered flits across all ports. O(1):
+// the counter is maintained at deliver/traverse.
+func (r *Router) TotalOccupancy() int { return r.totalOcc }
+
+// MaxPortOccupancyScan recomputes MaxPortOccupancy by scanning the ports.
+// It exists for the retained reference path and for consistency checks;
+// the hot paths use the incremental counter.
+func (r *Router) MaxPortOccupancyScan() int {
 	m := 0
 	for p := range r.in {
 		if r.in[p].occupancy > m {
@@ -198,8 +239,9 @@ func (r *Router) MaxPortOccupancy() int {
 	return m
 }
 
-// TotalOccupancy returns the total buffered flits across all ports.
-func (r *Router) TotalOccupancy() int {
+// TotalOccupancyScan recomputes TotalOccupancy by scanning the ports (see
+// MaxPortOccupancyScan).
+func (r *Router) TotalOccupancyScan() int {
 	t := 0
 	for p := range r.in {
 		t += r.in[p].occupancy
@@ -225,6 +267,7 @@ func (r *Router) wake(now int64, delay int, cause WakeCause) {
 		r.csc.Wake(now)
 		r.sub.events.GatingTransitions++
 		r.state = PowerWaking
+		r.sub.onWakeStart(r.node)
 		r.wakeAt = now + int64(delay)
 		if t := r.sub.net.tracer; t != nil {
 			t.RouterWoke(now, r.sub.index, r.node, cause, now-r.sleptAt)
@@ -241,11 +284,35 @@ func (r *Router) wake(now int64, delay int, cause WakeCause) {
 // no pinned arrivals, policy approval).
 func (r *Router) sleep(now, idle int64) {
 	r.state = PowerAsleep
+	r.sub.onSleep(r.node)
+	r.checkAt = -1 // any pending check-wheel entry is now stale
 	r.sleptAt = now
 	r.csc.Sleep(now)
 	if t := r.sub.net.tracer; t != nil {
 		t.RouterSlept(now, r.sub.index, r.node, idle)
 	}
+}
+
+// completeWake finishes a Waking→Active transition at cycle now. Both idle
+// representations are reset (emptySince for the reference scan path,
+// lastBusy for the incremental path) so a mode switch stays consistent,
+// and the next sleep-eligibility check is scheduled.
+func (r *Router) completeWake(now int64) {
+	r.state = PowerActive
+	r.sub.onWakeDone(r.node)
+	r.emptySince = now + 1
+	r.lastBusy = now
+	r.sub.scheduleCheck(r, now)
+}
+
+// noteBusyEnd records that the router was busy at cycle busyCycle (the
+// lazy lastBusy update) and schedules the sleep-eligibility check that
+// this busy period's end makes due.
+func (r *Router) noteBusyEnd(now, busyCycle int64) {
+	if busyCycle > r.lastBusy {
+		r.lastBusy = busyCycle
+	}
+	r.sub.scheduleCheck(r, now)
 }
 
 // deliver writes an arriving flit into input port p, VC v. It runs in the
@@ -257,7 +324,18 @@ func (r *Router) deliver(now int64, p, v int, f flit) {
 	cfg := r.sub.net.cfg
 	f.eligibleAt = now + int64(cfg.RouterDelay)
 	r.in[p].vcs[v].push(f)
-	r.in[p].occupancy++
+	r.occSlots |= 1 << uint(p*cfg.VCs+v) // no-op beyond 64 slots (slotMask off)
+	occ := r.in[p].occupancy + 1
+	r.in[p].occupancy = occ
+	r.totalOcc++
+	r.sub.bufferedFlits++
+	if occ > r.maxPortOcc {
+		r.sub.noteBFM(r.maxPortOcc, occ)
+		r.maxPortOcc = occ
+	}
+	if r.totalOcc == 1 {
+		r.sub.setOccupied(r.node)
+	}
 	r.sub.events.BufferWrites++
 
 	if f.head() && int(f.nextPort) != r.sub.net.localPort {
@@ -278,6 +356,37 @@ func (r *Router) deliver(now int64, p, v int, f flit) {
 // look-ahead route of packets newly at the front of a FIFO.
 func (r *Router) vcAllocate() {
 	nports := len(r.in)
+	if r.slotMask && !r.sub.refScan {
+		// Incremental path: iterate only the non-empty VCs, in the same
+		// rotated-port, ascending-VC order as the scan below. vcAllocate
+		// never changes slot occupancy, so the snapshot is exact.
+		vcs := r.sub.net.cfg.VCs
+		occ := r.occSlots
+		for pi := 0; pi < nports; pi++ {
+			p := (pi + r.vaRR) % nports
+			ip := &r.in[p]
+			pm := occ >> uint(p*vcs) & (1<<uint(vcs) - 1)
+			for pm != 0 {
+				v := bits.TrailingZeros64(pm)
+				pm &= pm - 1
+				vc := &ip.vcs[v]
+				f := vc.front()
+				if f.head() && !vc.routeSet {
+					vc.curPkt = f.pkt
+					vc.outPort = int(f.nextPort)
+					vc.outVC = -1
+					vc.routeSet = true
+					vc.crossed = f.crossed
+				}
+				if !vc.routeSet || vc.outVC >= 0 {
+					continue
+				}
+				r.allocateOutVC(vc)
+			}
+		}
+		r.vaRR++
+		return
+	}
 	for pi := 0; pi < nports; pi++ {
 		p := (pi + r.vaRR) % nports
 		ip := &r.in[p]
@@ -362,6 +471,9 @@ func (r *Router) switchAllocate(now int64) int {
 	for p := range r.grantedInput {
 		r.grantedInput[p] = false
 	}
+	if r.slotMask && !r.sub.refScan {
+		return r.switchAllocateFast(now)
+	}
 	nports := len(r.in)
 	local := r.sub.net.localPort
 	vcs := r.sub.net.cfg.VCs
@@ -422,13 +534,120 @@ func (r *Router) switchAllocate(now int64) int {
 	return moved
 }
 
+// switchAllocateFast is the incremental-path switch allocation: identical
+// decisions and counters to the scan in switchAllocate — same circular
+// visit order over non-empty slots, same round-robin pointer updates,
+// including the reference loop's re-read of op.rr after a grant shifts
+// every later slot index — but empty slots are skipped through the
+// occupancy bitmask in word-sized jumps instead of being loaded and
+// tested one by one. Slots that empty mid-allocation (the granted slot,
+// or a slot drained by an earlier output port's grant) keep a stale set
+// bit in the snapshot and are filtered by the same live vc.empty() check
+// the scan performs; bits are never set during allocation, so no
+// non-empty slot can be missed. grantedInput was reset by the caller.
+func (r *Router) switchAllocateFast(now int64) int {
+	moved := 0
+	nports := len(r.in)
+	local := r.sub.net.localPort
+	cfg := r.sub.net.cfg
+	vcs := cfg.VCs
+	slots := nports * vcs
+
+	for o := 0; o < nports; o++ {
+		op := &r.out[o]
+		if o != local && op.downstream < 0 {
+			continue
+		}
+		occ := r.occSlots
+		granted := false
+		base := op.rr
+		for k := 0; k < slots; {
+			cur := base + k
+			if cur >= slots {
+				cur -= slots
+			}
+			// Window of contiguous slot indices: up to the wrap boundary
+			// and the remaining k budget.
+			span := slots - k
+			if l := slots - cur; l < span {
+				span = l
+			}
+			w := occ >> uint(cur)
+			if span < 64 {
+				w &= 1<<uint(span) - 1
+			}
+			if w == 0 {
+				k += span
+				continue
+			}
+			tz := bits.TrailingZeros64(w)
+			k += tz + 1
+			idx := cur + tz
+			p := idx / vcs
+			v := idx % vcs
+			vc := &r.in[p].vcs[v]
+			if vc.empty() || !vc.routeSet || vc.outPort != o || vc.outVC < 0 {
+				continue
+			}
+			f := vc.front()
+			if f.eligibleAt > now {
+				continue
+			}
+			if granted || r.grantedInput[p] {
+				r.blockedFlitCycles++
+				continue
+			}
+			if o != local {
+				if op.credits[vc.outVC] <= 0 {
+					r.blockedFlitCycles++
+					continue
+				}
+				if dr := &r.sub.routers[op.downstream]; dr.state != PowerActive {
+					if dr.state == PowerAsleep {
+						dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+						r.sub.events.WakeupSignals++
+					}
+					r.blockedFlitCycles++
+					continue
+				}
+			}
+			r.traverse(now, p, v, vc, o, op)
+			op.rr = (idx + 1) % slots
+			granted = true
+			moved++
+			base = op.rr // mirrors the scan's (op.rr + k) re-read
+		}
+	}
+	return moved
+}
+
 // traverse moves the front flit of input (p, v) through the crossbar onto
 // output port o, updating credits, wormhole state, look-ahead routing and
 // the staged arrival/credit wheels.
 func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPort) {
 	cfg := r.sub.net.cfg
 	f := vc.pop()
-	r.in[p].occupancy--
+	if vc.empty() {
+		r.occSlots &^= 1 << uint(p*cfg.VCs+v)
+	}
+	occ := r.in[p].occupancy - 1
+	r.in[p].occupancy = occ
+	r.totalOcc--
+	r.sub.bufferedFlits--
+	if occ+1 == r.maxPortOcc {
+		// The decremented port may have been the sole argmax; recompute.
+		if m := r.MaxPortOccupancyScan(); m != r.maxPortOcc {
+			r.sub.noteBFM(r.maxPortOcc, m)
+			r.maxPortOcc = m
+		}
+	}
+	if r.totalOcc == 0 {
+		r.sub.clearOccupied(r.node)
+		// The router was occupied at powerPhase(now-1): RouterDelay >= 1
+		// means this flit was delivered no later than cycle now-1, so the
+		// buffers were non-empty when the previous power phase ran.
+		r.noteBusyEnd(now, now-1)
+	}
 	r.grantedInput[p] = true
 	r.grantedFlits++
 	ev := r.sub.events
@@ -479,10 +698,12 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 	r.sub.stageArrival(arriveAt, op.downstream, op.downInPort, outVC, f)
 }
 
-// powerUpdate runs at the end of each cycle: it advances wake-ups, resets
-// or extends the idle streak, and consults the gating policy for sleep and
-// proactive-wake decisions. It also accrues state-residency counts for the
-// power model.
+// powerUpdate runs at the end of each cycle on the reference scan path:
+// it advances wake-ups, resets or extends the idle streak, and consults
+// the gating policy for sleep and proactive-wake decisions. It also
+// accrues state-residency counts for the power model. The incremental
+// path (Subnet.powerPhase) reproduces these decisions bit-identically
+// without visiting steady-state routers.
 func (r *Router) powerUpdate(now int64) {
 	cfg := r.sub.net.cfg
 	pol := r.sub.net.gating
@@ -492,8 +713,7 @@ func (r *Router) powerUpdate(now int64) {
 	case PowerWaking:
 		ev.ActiveRouterCycles++ // rail charging draws power
 		if now >= r.wakeAt {
-			r.state = PowerActive
-			r.emptySince = now + 1
+			r.completeWake(now)
 		}
 		return
 	case PowerAsleep:
@@ -505,7 +725,7 @@ func (r *Router) powerUpdate(now int64) {
 	}
 
 	ev.ActiveRouterCycles++
-	if r.TotalOccupancy() > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
+	if r.TotalOccupancyScan() > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
 		r.emptySince = now + 1
 		return
 	}
@@ -515,5 +735,45 @@ func (r *Router) powerUpdate(now int64) {
 	idle := now - r.emptySince + 1
 	if idle >= int64(cfg.TIdleDetect) && pol.AllowSleep(now, r.sub.index, r.node, idle) {
 		r.sleep(now, idle)
+	}
+}
+
+// powerCheck is the incremental path's equivalent of powerUpdate's
+// active-state branch, run only when a scheduled check fires or a blocked
+// router is re-evaluated after a policy-epoch change. blocked reports
+// whether the router currently sits in the subnet's blocked set (idle long
+// enough, but the policy denied sleep).
+//
+// Busy routers simply return: the event that ends the busy condition
+// (occupancy reaching zero, the NI stream finishing, a pinned arrival
+// being delivered) updates lastBusy and schedules a fresh check, so no
+// decision is ever missed. idle below TIdleDetect at a live check can only
+// happen after defensive rescheduling; it, too, leaves the next check in
+// place.
+func (r *Router) powerCheck(now int64, blocked bool) {
+	if r.totalOcc > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
+		if blocked {
+			r.sub.clearBlocked(r.node)
+		}
+		return
+	}
+	pol := r.sub.net.gating
+	if pol == nil {
+		return // SetGatingPolicy re-arms checks when a policy appears
+	}
+	idle := now - r.lastBusy
+	if idle < int64(r.sub.net.cfg.TIdleDetect) {
+		if blocked {
+			r.sub.clearBlocked(r.node)
+		}
+		r.sub.scheduleCheck(r, now)
+		return
+	}
+	if pol.AllowSleep(now, r.sub.index, r.node, idle) {
+		r.sleep(now, idle)
+		return
+	}
+	if !blocked {
+		r.sub.setBlocked(r.node)
 	}
 }

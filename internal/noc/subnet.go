@@ -1,5 +1,7 @@
 package noc
 
+import "math/bits"
+
 // arrival is a flit staged on a link, due to be written into a router's
 // input buffer at a specific cycle.
 type arrival struct {
@@ -57,6 +59,40 @@ type Subnet struct {
 	credits   [][]credit
 	niCredits [][]niCredit
 	ejections [][]ejection
+
+	// O(active) work-list state (see DESIGN.md "Hot path"). Everything
+	// below is written only from this subnet's deliver/router/power
+	// phases, preserving the no-shared-state parallel invariant.
+	//
+	// refScan selects the retained O(nodes)-scan reference phases; the
+	// aggregates are maintained in both modes so observers read the same
+	// values either way.
+	refScan bool
+	// Bitmaps over node ids (bit n of word n/64).
+	occBits     []uint64 // routers with buffered flits
+	wakingBits  []uint64 // routers in PowerWaking
+	asleepBits  []uint64 // routers in PowerAsleep
+	blockedBits []uint64 // idle-eligible routers the policy denied sleep
+	pollBits    []uint64 // newly-slept routers owed one WantWake poll
+	dueBits     []uint64 // scratch: checks firing this cycle
+	workBits    []uint64 // scratch: merged power-phase work set
+	// stateCount[s] is the router count in PowerState s.
+	stateCount [3]int
+	// bufferedFlits is the subnet-wide buffered flit total (BFA metric,
+	// telemetry occupancy series).
+	bufferedFlits int
+	// bfmHist[v] counts routers whose max port occupancy is exactly v;
+	// bfmMax is a lazily-tightened upper bound on the subnet MaxBFM.
+	bfmHist []int32
+	bfmMax  int
+	// checkWheel[c % len] holds nodes whose sleep-eligibility check is
+	// scheduled for cycle c; stale entries (router rescheduled or slept)
+	// are skipped via Router.checkAt. Sized TIdleDetect+2: no check is
+	// ever scheduled more than TIdleDetect+1 cycles ahead.
+	checkWheel [][]int32
+	// lastEpoch is the gating-policy epoch observed at the previous power
+	// phase; a change triggers re-evaluation of asleep/blocked routers.
+	lastEpoch uint64
 }
 
 func newSubnet(net *Network, index int) *Subnet {
@@ -68,6 +104,20 @@ func newSubnet(net *Network, index int) *Subnet {
 	s.niCredits = make([][]niCredit, s.wheelSize)
 	s.ejections = make([][]ejection, s.wheelSize)
 	s.routers = make([]Router, cfg.Nodes())
+	words := (cfg.Nodes() + 63) / 64
+	s.occBits = make([]uint64, words)
+	s.wakingBits = make([]uint64, words)
+	s.asleepBits = make([]uint64, words)
+	s.blockedBits = make([]uint64, words)
+	s.pollBits = make([]uint64, words)
+	s.dueBits = make([]uint64, words)
+	s.workBits = make([]uint64, words)
+	s.stateCount[PowerActive] = cfg.Nodes()
+	s.bfmHist = make([]int32, cfg.VCs*cfg.VCDepth+1)
+	s.bfmHist[0] = int32(cfg.Nodes())
+	checkSpan := cfg.TIdleDetect + 2
+	s.checkWheel = make([][]int32, checkSpan)
+	s.lastEpoch = ^uint64(0)
 	for n := range s.routers {
 		s.routers[n].init(s, n)
 	}
@@ -148,12 +198,37 @@ func (s *Subnet) deliverPhase(now int64) {
 
 // routerPhase runs allocation and traversal on every active router.
 func (s *Subnet) routerPhase(now int64) {
+	if s.refScan {
+		s.routerPhaseScan(now)
+		return
+	}
+	// Iterate the occupied-router work list in ascending node order (the
+	// same order the scan visits). Word snapshots are safe: traversal can
+	// only clear a router's own bit, never set one, so no occupied router
+	// is skipped and none is visited twice.
+	for i, w := range s.occBits {
+		for w != 0 {
+			n := i<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			r := &s.routers[n]
+			if r.state != PowerActive {
+				continue
+			}
+			r.vcAllocate()
+			r.switchAllocate(now)
+		}
+	}
+}
+
+// routerPhaseScan is the retained reference implementation: visit every
+// router, skipping gated and empty ones by rescanning their ports.
+func (s *Subnet) routerPhaseScan(now int64) {
 	for n := range s.routers {
 		r := &s.routers[n]
 		if r.state != PowerActive {
 			continue
 		}
-		if r.TotalOccupancy() == 0 {
+		if r.TotalOccupancyScan() == 0 {
 			continue
 		}
 		r.vcAllocate()
@@ -161,8 +236,88 @@ func (s *Subnet) routerPhase(now int64) {
 	}
 }
 
-// powerPhase advances power states on every router.
+// powerPhase advances power states. The incremental path touches only
+// routers with due work — waking routers, scheduled sleep checks, and
+// (when the gating policy's decision epoch moved) asleep or sleep-blocked
+// routers — while accruing state residency from the per-state counts in
+// O(1). Event order matches the reference scan: ascending node id.
 func (s *Subnet) powerPhase(now int64) {
+	if s.refScan {
+		s.powerPhaseScan(now)
+		return
+	}
+	ev := s.events
+	ev.ActiveRouterCycles += int64(s.stateCount[PowerActive] + s.stateCount[PowerWaking])
+	ev.SleepRouterCycles += int64(s.stateCount[PowerAsleep])
+
+	pol := s.net.gating
+	evalAll := false
+	if pol != nil {
+		if fn := s.net.epochFn; fn != nil {
+			ep := fn()
+			evalAll = ep != s.lastEpoch
+			s.lastEpoch = ep
+		} else {
+			// Non-epoched policies are polled every cycle, as the
+			// reference path does.
+			evalAll = true
+		}
+	}
+
+	// Drain this cycle's check slot. Checks are scheduled at most
+	// TIdleDetect+1 cycles ahead (< len(checkWheel)), so entries staged
+	// during this phase always land in a different slot.
+	due := s.dueBits
+	for i := range due {
+		due[i] = 0
+	}
+	slot := s.slotCheck(now)
+	for _, n := range s.checkWheel[slot] {
+		if r := &s.routers[n]; r.checkAt == now {
+			r.checkAt = -1
+			due[n>>6] |= 1 << (uint(n) & 63)
+		}
+	}
+	s.checkWheel[slot] = s.checkWheel[slot][:0]
+
+	work := s.workBits
+	for i := range work {
+		w := s.wakingBits[i] | due[i]
+		if evalAll {
+			w |= s.asleepBits[i] | s.blockedBits[i]
+		} else {
+			w |= s.pollBits[i]
+		}
+		work[i] = w
+	}
+	for i, w := range work {
+		for w != 0 {
+			n := i<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			r := &s.routers[n]
+			switch r.state {
+			case PowerWaking:
+				if now >= r.wakeAt {
+					r.completeWake(now)
+				}
+			case PowerAsleep:
+				s.pollBits[n>>6] &^= 1 << (uint(n) & 63)
+				if pol != nil && pol.WantWake(now, s.index, n) {
+					r.wake(now, s.net.cfg.TWakeup, WakePolicy)
+				}
+			default: // PowerActive: a due check and/or a blocked re-eval
+				blocked := s.blockedBits[n>>6]&(1<<(uint(n)&63)) != 0
+				if due[n>>6]&(1<<(uint(n)&63)) != 0 || (evalAll && blocked) {
+					r.powerCheck(now, blocked)
+				}
+			}
+		}
+	}
+}
+
+// powerPhaseScan is the retained reference implementation: every router,
+// every cycle.
+func (s *Subnet) powerPhaseScan(now int64) {
 	for n := range s.routers {
 		s.routers[n].powerUpdate(now)
 	}
@@ -176,20 +331,41 @@ func (s *Subnet) flushCSC(now int64) {
 }
 
 // ActiveRouters returns how many routers are currently in the active or
-// waking state.
+// waking state. O(1): read from the per-state counts.
 func (s *Subnet) ActiveRouters() int {
-	c := 0
-	for n := range s.routers {
-		if s.routers[n].state != PowerAsleep {
-			c++
-		}
-	}
-	return c
+	return len(s.routers) - s.stateCount[PowerAsleep]
 }
 
 // PowerStates returns the router counts in each power state; telemetry
-// samples it per cycle for the Figure 12-style power-state series.
+// samples it per cycle for the Figure 12-style power-state series. O(1).
 func (s *Subnet) PowerStates() (active, waking, asleep int) {
+	return s.stateCount[PowerActive], s.stateCount[PowerWaking], s.stateCount[PowerAsleep]
+}
+
+// BufferedFlits returns the total flits buffered across every router in
+// the subnet (the occupancy the BFA metric averages). O(1).
+func (s *Subnet) BufferedFlits() int { return s.bufferedFlits }
+
+// MaxBFM returns the maximum per-router BFM (max input-port occupancy)
+// over the subnet — the subnet-wide view of the paper's chosen local
+// congestion metric. Amortized O(1): bfmMax only rises to the exact new
+// value on delivery and is lazily walked down over the router histogram
+// on reads after drains.
+func (s *Subnet) MaxBFM() int {
+	for s.bfmMax > 0 && s.bfmHist[s.bfmMax] == 0 {
+		s.bfmMax--
+	}
+	return s.bfmMax
+}
+
+// OccupiedBits exposes the occupied-router bitmap (bit n of word n/64 set
+// iff router n buffers at least one flit). Congestion detection iterates
+// it instead of scanning the mesh; callers must not modify it.
+func (s *Subnet) OccupiedBits() []uint64 { return s.occBits }
+
+// PowerStatesScan recomputes PowerStates by scanning every router — the
+// reference for consistency checks and differential tests.
+func (s *Subnet) PowerStatesScan() (active, waking, asleep int) {
 	for n := range s.routers {
 		switch s.routers[n].state {
 		case PowerActive:
@@ -203,25 +379,155 @@ func (s *Subnet) PowerStates() (active, waking, asleep int) {
 	return
 }
 
-// BufferedFlits returns the total flits buffered across every router in
-// the subnet (the occupancy the BFA metric averages).
-func (s *Subnet) BufferedFlits() int {
+// BufferedFlitsScan recomputes BufferedFlits by scanning every router.
+func (s *Subnet) BufferedFlitsScan() int {
 	t := 0
 	for n := range s.routers {
-		t += s.routers[n].TotalOccupancy()
+		t += s.routers[n].TotalOccupancyScan()
 	}
 	return t
 }
 
-// MaxBFM returns the maximum per-router BFM (max input-port occupancy)
-// over the subnet — the subnet-wide view of the paper's chosen local
-// congestion metric.
-func (s *Subnet) MaxBFM() int {
+// MaxBFMScan recomputes MaxBFM by scanning every router.
+func (s *Subnet) MaxBFMScan() int {
 	m := 0
 	for n := range s.routers {
-		if b := s.routers[n].MaxPortOccupancy(); b > m {
+		if b := s.routers[n].MaxPortOccupancyScan(); b > m {
 			m = b
 		}
 	}
 	return m
+}
+
+// --- incremental aggregate maintenance -------------------------------
+
+// noteBFM moves one router between max-port-occupancy histogram buckets.
+func (s *Subnet) noteBFM(from, to int) {
+	s.bfmHist[from]--
+	s.bfmHist[to]++
+	if to > s.bfmMax {
+		s.bfmMax = to
+	}
+}
+
+// setOccupied marks router n as holding buffered flits. Gaining a flit
+// also cancels any sleep-blocked status: the router is busy again.
+func (s *Subnet) setOccupied(n int) {
+	s.occBits[n>>6] |= 1 << (uint(n) & 63)
+	s.blockedBits[n>>6] &^= 1 << (uint(n) & 63)
+}
+
+// clearOccupied marks router n as empty.
+func (s *Subnet) clearOccupied(n int) {
+	s.occBits[n>>6] &^= 1 << (uint(n) & 63)
+}
+
+// setBlocked / clearBlocked maintain the sleep-blocked set (idle long
+// enough to sleep, but the policy said no; re-evaluated on policy-epoch
+// changes instead of every cycle).
+func (s *Subnet) setBlocked(n int)   { s.blockedBits[n>>6] |= 1 << (uint(n) & 63) }
+func (s *Subnet) clearBlocked(n int) { s.blockedBits[n>>6] &^= 1 << (uint(n) & 63) }
+
+// onSleep records an Active→Asleep transition. The fresh sleeper is owed
+// one WantWake poll on the next power phase even if the policy epoch does
+// not move (a generic epoched policy may want it straight back up).
+func (s *Subnet) onSleep(n int) {
+	s.stateCount[PowerActive]--
+	s.stateCount[PowerAsleep]++
+	s.asleepBits[n>>6] |= 1 << (uint(n) & 63)
+	s.pollBits[n>>6] |= 1 << (uint(n) & 63)
+	s.blockedBits[n>>6] &^= 1 << (uint(n) & 63)
+}
+
+// onWakeStart records an Asleep→Waking transition.
+func (s *Subnet) onWakeStart(n int) {
+	s.stateCount[PowerAsleep]--
+	s.stateCount[PowerWaking]++
+	s.asleepBits[n>>6] &^= 1 << (uint(n) & 63)
+	s.pollBits[n>>6] &^= 1 << (uint(n) & 63)
+	s.wakingBits[n>>6] |= 1 << (uint(n) & 63)
+}
+
+// onWakeDone records a Waking→Active transition.
+func (s *Subnet) onWakeDone(n int) {
+	s.stateCount[PowerWaking]--
+	s.stateCount[PowerActive]++
+	s.wakingBits[n>>6] &^= 1 << (uint(n) & 63)
+}
+
+func (s *Subnet) slotCheck(cycle int64) int { return int(cycle % int64(len(s.checkWheel))) }
+
+// scheduleCheck (re)schedules router r's next sleep-eligibility check at
+// max(lastBusy+TIdleDetect, now) — the first cycle its idle streak can
+// reach the detection threshold, clamped so a long-idle router (e.g. at
+// re-arm) is checked immediately. A single checkAt overwrite invalidates
+// any previously staged entry. No-op on the reference path or without a
+// gating policy; SetGatingPolicy re-arms every router when one appears.
+func (s *Subnet) scheduleCheck(r *Router, now int64) {
+	if s.refScan || s.net.gating == nil {
+		return
+	}
+	at := r.lastBusy + int64(s.net.cfg.TIdleDetect)
+	if at < now {
+		at = now
+	}
+	if r.checkAt == at {
+		return
+	}
+	r.checkAt = at
+	i := s.slotCheck(at)
+	s.checkWheel[i] = append(s.checkWheel[i], int32(r.node))
+}
+
+// rearmChecks schedules a sleep check for every active router and forces
+// a full policy re-evaluation at the next power phase. Called when a
+// gating policy is installed or the stepping mode changes.
+func (s *Subnet) rearmChecks(now int64) {
+	s.lastEpoch = ^uint64(0)
+	for i := range s.blockedBits {
+		s.blockedBits[i] = 0
+	}
+	for n := range s.routers {
+		if r := &s.routers[n]; r.state == PowerActive {
+			s.scheduleCheck(r, now)
+		}
+	}
+}
+
+// checkAggregates cross-checks every incremental aggregate against its
+// scan-based reference; tests and invariant checks call it.
+func (s *Subnet) checkAggregates() string {
+	if a, w, z := s.PowerStates(); true {
+		as, ws, zs := s.PowerStatesScan()
+		if a != as || w != ws || z != zs {
+			return "power-state counts drifted from scan"
+		}
+	}
+	if s.bufferedFlits != s.BufferedFlitsScan() {
+		return "bufferedFlits drifted from scan"
+	}
+	if s.MaxBFM() != s.MaxBFMScan() {
+		return "MaxBFM drifted from scan"
+	}
+	for n := range s.routers {
+		r := &s.routers[n]
+		if r.totalOcc != r.TotalOccupancyScan() {
+			return "router totalOcc drifted from scan"
+		}
+		if r.maxPortOcc != r.MaxPortOccupancyScan() {
+			return "router maxPortOcc drifted from scan"
+		}
+		bit := s.occBits[n>>6]&(1<<(uint(n)&63)) != 0
+		if bit != (r.totalOcc > 0) {
+			return "occBits inconsistent with occupancy"
+		}
+		inState := func(b []uint64) bool { return b[n>>6]&(1<<(uint(n)&63)) != 0 }
+		if inState(s.asleepBits) != (r.state == PowerAsleep) {
+			return "asleepBits inconsistent with state"
+		}
+		if inState(s.wakingBits) != (r.state == PowerWaking) {
+			return "wakingBits inconsistent with state"
+		}
+	}
+	return ""
 }

@@ -1,0 +1,60 @@
+// Package prof wires the runtime/pprof CPU and heap profilers into the
+// command-line tools, so hot-path work (see DESIGN.md's "Hot path"
+// section) can be profiled on any experiment or sweep without a test
+// harness:
+//
+//	catnap -cpuprofile cpu.prof fig12
+//	go tool pprof cpu.prof
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and arranges
+// for a heap profile to be written to memFile (when non-empty) by the
+// returned stop function. Either file name may be empty; with both
+// empty, Start is free and stop a no-op.
+//
+// Callers must run stop on every exit path. os.Exit skips deferred
+// calls, so commands that exit with a code must stop the profiles
+// first — an unstopped CPU profile is a truncated, unreadable file.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			// Settle the live heap so the snapshot shows retained
+			// memory, not transient garbage.
+			runtime.GC()
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		}
+		return nil
+	}, nil
+}

@@ -89,12 +89,10 @@ type Collector struct {
 	ejPkts  *stats.Series
 	niQueue *stats.Series
 
-	// Previous cumulative values for windowed deltas, plus a reusable
-	// scratch slice so sampling never allocates.
-	prevFlits   []int64
-	flitScratch []int64
-	prevInj     int64
-	prevEj      int64
+	// Previous cumulative values for windowed deltas.
+	prevFlits []int64
+	prevInj   int64
+	prevEj    int64
 
 	// Transition counters (atomic; may be bumped from per-subnet
 	// goroutines in parallel mode).
@@ -129,8 +127,7 @@ func NewCollector(net *noc.Network, window int64, log *Log, label string) *Colle
 		bfm:      make([]*stats.Series, subnets),
 		injFlits: make([]*stats.Series, subnets),
 
-		prevFlits:   make([]int64, subnets),
-		flitScratch: make([]int64, subnets),
+		prevFlits: make([]int64, subnets),
 	}
 	c.cSleeps = c.reg.Counter(MetricSleeps, -1)
 	c.cWakeLookA = c.reg.Counter(MetricWakesLookAhd, -1)
@@ -180,23 +177,11 @@ func (c *Collector) AfterCycle(now int64) {
 		c.bfm[s].Add(now, float64(sub.MaxBFM()))
 	}
 
-	queueFlits := 0
-	nodes := c.net.Topo().Nodes()
-	flits := c.flitScratch
-	for i := range flits {
-		flits[i] = 0
-	}
-	for i := 0; i < nodes; i++ {
-		ni := c.net.NI(i)
-		queueFlits += ni.QueueOccupancyFlits()
-		for s, f := range ni.FlitsPerSubnet {
-			flits[s] += f
-		}
-	}
-	c.niQueue.Add(now, float64(queueFlits))
-	for s := range flits {
-		c.injFlits[s].Add(now, float64(flits[s]-c.prevFlits[s]))
-		c.prevFlits[s] = flits[s]
+	// Network-maintained aggregates: no per-NI walk.
+	c.niQueue.Add(now, float64(c.net.NIQueueFlits()))
+	for s, f := range c.net.FlitsPerSubnet() {
+		c.injFlits[s].Add(now, float64(f-c.prevFlits[s]))
+		c.prevFlits[s] = f
 	}
 
 	_, injected, ejected := c.net.Counts()

@@ -222,6 +222,18 @@ func (s *Simulator) UseSplitMix(westMix, eastMix string) (*cpusim.System, error)
 // System returns the attached system model, or nil.
 func (s *Simulator) System() *cpusim.System { return s.sys }
 
+// SetReferenceScan switches this simulator's network and congestion
+// detector (if any) to the retained O(nodes) scan-based stepping path,
+// or back. Results are bit-identical either way; the reference path
+// exists for differential tests and as the honest pre-optimization
+// baseline in make bench-core.
+func (s *Simulator) SetReferenceScan(on bool) {
+	s.Net.SetReferenceScan(on)
+	if s.Det != nil {
+		s.Det.SetReferenceScan(on)
+	}
+}
+
 // Step advances one cycle, ticking the synthetic generator if attached.
 func (s *Simulator) Step() {
 	if s.gen != nil {
@@ -289,12 +301,7 @@ func (s *Simulator) StartMeasure() {
 	if s.gen != nil {
 		s.start.offered = s.gen.Offered
 	}
-	s.start.flitsPerSubnet = make([]int64, s.Net.Subnets())
-	for n := 0; n < s.Net.Topo().Nodes(); n++ {
-		for sub, c := range s.Net.NI(n).FlitsPerSubnet {
-			s.start.flitsPerSubnet[sub] += c
-		}
-	}
+	s.start.flitsPerSubnet = append([]int64(nil), s.Net.FlitsPerSubnet()...)
 	if s.sys != nil {
 		s.sys.StartMeasurement()
 	}
@@ -344,12 +351,7 @@ func (s *Simulator) StopMeasure() Results {
 	}
 	r.SubnetShare = make([]float64, s.Net.Subnets())
 	var totalFlits int64
-	per := make([]int64, s.Net.Subnets())
-	for n := 0; n < s.Net.Topo().Nodes(); n++ {
-		for sub, c := range s.Net.NI(n).FlitsPerSubnet {
-			per[sub] += c
-		}
-	}
+	per := append([]int64(nil), s.Net.FlitsPerSubnet()...)
 	for sub := range per {
 		per[sub] -= s.start.flitsPerSubnet[sub]
 		totalFlits += per[sub]

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -179,7 +180,7 @@ func TestRunExperimentFig12Telemetry(t *testing.T) {
 // a fixed run in three arms — base (no telemetry anywhere), off (a
 // recorder exists but is never attached, the flags-unset path), and on
 // (fully instrumented) — interleaved, min-of-5, then writes
-// BENCH_telemetry.json and fails if the off arm costs more than 2% over
+// BENCH_telemetry.json and fails if the off arm costs more than 3% over
 // base. Gated behind TELEMETRY_GUARD=1 because wall-clock assertions
 // do not belong in the default -race test run.
 func TestTelemetryOverheadGuard(t *testing.T) {
@@ -187,7 +188,17 @@ func TestTelemetryOverheadGuard(t *testing.T) {
 		t.Skip("set TELEMETRY_GUARD=1 (or run `make bench-telemetry`) to run the overhead guard")
 	}
 
-	const warmup, measure = 300, 2700
+	// O(active) stepping (see DESIGN.md §4e) cut the wall time of this
+	// fixed scenario ~2.3x, which pushed the original 3000-cycle runs
+	// under the harness noise floor: constant-size perturbations (GC
+	// cycles landing just inside vs outside the timed window) exceeded
+	// the old 2% relative guard with no code difference between arms.
+	// Longer runs restore the signal-to-noise; the GC barrier below
+	// makes each arm's collection count depend only on its own
+	// allocation; and the threshold is set so its *absolute* bar
+	// (3% of ~68us/cycle = ~2.1us/cycle) stays tighter than the one the
+	// guard originally enforced (2% of ~155us/cycle = ~3.1us/cycle).
+	const warmup, measure = 300, 8700
 	const cycles = warmup + measure
 	arms := []struct {
 		name string
@@ -218,13 +229,21 @@ func TestTelemetryOverheadGuard(t *testing.T) {
 		}},
 	}
 
-	const reps = 5
+	// Min-of-9: on a shared machine, background-load bursts can deny one
+	// arm a quiet slot for a whole 5-rep pass; 9 interleaved reps give
+	// each arm enough draws that its minimum reflects the code, not the
+	// neighbours.
+	const reps = 9
 	best := make([]time.Duration, len(arms))
 	for i := range best {
 		best[i] = time.Duration(1<<63 - 1)
 	}
 	for r := 0; r < reps; r++ {
 		for i, arm := range arms {
+			// Settle the heap so GC pacing inside the timed region is
+			// driven by this run's allocation, not the previous arm's
+			// garbage.
+			runtime.GC()
 			start := time.Now()
 			res := arm.run()
 			d := time.Since(start)
@@ -262,7 +281,7 @@ func TestTelemetryOverheadGuard(t *testing.T) {
 	}
 	t.Logf("base %.1f ns/cycle, off %+.2f%%, on %+.2f%% (%s)", base, offPct, onPct, out)
 
-	if offPct > 2 {
-		t.Fatalf("telemetry-off overhead %.2f%% exceeds the 2%% guard (base %.1f, off %.1f ns/cycle)", offPct, base, off)
+	if offPct > 3 {
+		t.Fatalf("telemetry-off overhead %.2f%% exceeds the 3%% guard (base %.1f, off %.1f ns/cycle)", offPct, base, off)
 	}
 }
