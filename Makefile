@@ -2,15 +2,28 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-core bench-compare bench-telemetry experiments quick-experiments fmt vet clean
+.PHONY: all check check-race build test race bench bench-core bench-compare bench-telemetry experiments quick-experiments fmt vet clean
 
 all: check
 
-# check is the default verification path: build, tests, vet, the full
-# suite under the race detector (the sweep engine and the parallel
-# subnet mode both rely on race-clean concurrency), the telemetry
-# zero-overhead guard, and the core stepping-cost guard.
-check: build test race bench-telemetry bench-core
+# check is the default verification path: build, tests, the
+# differential suites under the race detector (check-race), the full
+# suite under the race detector plus vet, the telemetry zero-overhead
+# guard, and the core stepping-cost guard.
+check: build test check-race race bench-telemetry bench-core
+
+# check-race runs the noc + congestion differential suites under the
+# race detector: the sharded router phase, SetParallel, mid-run flips,
+# drain, and the incremental-vs-reference differentials all exercise
+# the concurrency contract documented on SetParallel/SetShards (built-in
+# policies, selector, detector, and tracers must tolerate calls from
+# worker goroutines). TestShardedBuiltinPoliciesRace is the dedicated
+# assertion; the rest catch staging/commit races against real traffic.
+check-race:
+	$(GO) test -race -count=1 -timeout 60m \
+		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential' \
+		./internal/noc ./internal/congestion
+	$(GO) vet ./...
 
 build:
 	$(GO) build ./...

@@ -128,6 +128,19 @@ type Config struct {
 	// for wall-clock on multi-subnet configurations.
 	ParallelSubnets bool
 
+	// ShardedRouters partitions every subnet's router phase into
+	// contiguous row-band shards stepped concurrently, with cross-shard
+	// effects staged in commit queues and applied in a fixed order after
+	// the barrier — bit-identical to sequential stepping at any shard
+	// count (see noc.Network.SetShards). Where ParallelSubnets helps only
+	// when load spreads across subnets, sharding parallelizes inside the
+	// one subnet Catnap's strict-priority selection concentrates traffic
+	// on; the two compose.
+	ShardedRouters bool
+	// ShardCount is the row-band count per subnet when ShardedRouters is
+	// set; 0 means GOMAXPROCS.
+	ShardCount int
+
 	// Seed drives all randomness (policies only; traffic generators and
 	// system models take their own seeds).
 	Seed uint64

@@ -8,6 +8,11 @@
 // so the result table is byte-identical at any worker count. Progress
 // and the end-of-run summary go to stderr (-v logs every point).
 //
+// -sim-workers shards each simulator's router phase across cores
+// instead (0 = off, -1 = GOMAXPROCS shards); use it when the sweep has
+// fewer points than cores. Sharding is deterministic, so rows are also
+// byte-identical at any -sim-workers value.
+//
 // Cycle-level telemetry is off by default; -metrics/-events attach one
 // labeled collector per load (see internal/telemetry for the schema)
 // and also record sweep-point lifecycle events.
@@ -50,6 +55,7 @@ var (
 	metricsFile = flag.String("metrics", "", "write telemetry metrics to this file (JSONL; CSV if it ends in .csv), one labeled collector per load")
 	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, point lifecycle) to this JSONL file")
 	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	simWorkers  = flag.Int("sim-workers", 0, "router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS); results are bit-identical at any value")
 	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
 	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -121,6 +127,12 @@ func sweep() error {
 				cfg.Seed = *seed
 				if *metricTh > 0 {
 					cfg.MetricThreshold = *metricTh
+				}
+				if *simWorkers != 0 {
+					cfg.ShardedRouters = true
+					if *simWorkers > 0 {
+						cfg.ShardCount = *simWorkers
+					}
 				}
 				sim, err := catnap.New(cfg)
 				if err != nil {

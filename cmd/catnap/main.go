@@ -29,6 +29,7 @@
 //	-csv         emit CSV instead of aligned text
 //	-pattern     traffic pattern for fig11 (uniform-random|transpose|bit-complement)
 //	-jobs        parallel sweep workers (0 = GOMAXPROCS)
+//	-sim-workers router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS)
 //	-timeout     per-point wall-clock limit (0 = none)
 //	-metrics     write telemetry metrics to this file (JSONL; CSV if it ends in .csv)
 //	-events      stream telemetry events to this JSONL file
@@ -59,6 +60,7 @@ var (
 	csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	pattern     = flag.String("pattern", "uniform-random", "traffic pattern for fig11")
 	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	simWorkers  = flag.Int("sim-workers", 0, "router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS); results are bit-identical at any value")
 	timeout     = flag.Duration("timeout", 0, "per-point wall-clock limit (0 = none)")
 	metricsFile = flag.String("metrics", "", "write telemetry metrics to this file (JSONL; CSV if it ends in .csv)")
 	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, sweep lifecycle) to this JSONL file")
@@ -151,12 +153,13 @@ func run(ctx context.Context, name string) error {
 
 	prog := runner.NewConsole(os.Stderr, *verbose)
 	res, err := catnap.RunExperiment(ctx, name, catnap.ExperimentOpts{
-		Scale:     scale(),
-		Loads:     loads(),
-		Pattern:   *pattern,
-		Window:    *window,
-		Sweep:     catnap.SweepOptions{Jobs: *jobs, Timeout: *timeout, Progress: prog},
-		Telemetry: rec,
+		Scale:      scale(),
+		Loads:      loads(),
+		Pattern:    *pattern,
+		Window:     *window,
+		SimWorkers: *simWorkers,
+		Sweep:      catnap.SweepOptions{Jobs: *jobs, Timeout: *timeout, Progress: prog},
+		Telemetry:  rec,
 	})
 	prog.Finish()
 	if err != nil {

@@ -57,6 +57,15 @@ type ExperimentOpts struct {
 	// Window is the time-series sampling window (fig12) and the
 	// telemetry series window, in cycles; 0 means the paper's 50.
 	Window int64
+	// SimWorkers shards each simulation's router phase into this many
+	// row-band shards stepped concurrently (Config.ShardedRouters /
+	// ShardCount). 0 leaves sharding off; -1 selects GOMAXPROCS shards.
+	// Results are bit-identical at any value — it is purely a wall-clock
+	// knob for single large simulations, complementing Sweep.Jobs, which
+	// parallelizes across sweep points. The useful regimes differ: many
+	// points with Jobs, few big points (fig12-style time series, app
+	// workloads) with SimWorkers.
+	SimWorkers int
 	// Sweep configures the parallel engine (worker count, per-point
 	// timeout, progress reporting).
 	Sweep SweepOptions
@@ -109,6 +118,9 @@ func (o ExperimentOpts) Validate() error {
 	}
 	if o.Window > 0 && o.Total > 0 && o.Window > o.Total {
 		return fmt.Errorf("catnap: ExperimentOpts.Window = %d, want <= Total (%d cycles)", o.Window, o.Total)
+	}
+	if o.SimWorkers < -1 {
+		return fmt.Errorf("catnap: ExperimentOpts.SimWorkers = %d, want >= -1 (0 = off, -1 = GOMAXPROCS shards)", o.SimWorkers)
 	}
 	if o.Sweep.Jobs < 0 {
 		return fmt.Errorf("catnap: ExperimentOpts.Sweep.Jobs = %d, want >= 0 workers (0 = GOMAXPROCS)", o.Sweep.Jobs)

@@ -55,13 +55,28 @@ func sweep[T any](ctx context.Context, pts []runner.Point[T], opts SweepOptions)
 }
 
 // newSim builds a simulator for a registered design, returning (not
-// panicking on) lookup errors so engine points degrade cleanly.
-func newSim(design string) (*Simulator, error) {
+// panicking on) lookup errors so engine points degrade cleanly. The
+// opts carry simulator-level tuning (SimWorkers) into the config.
+func newSim(design string, o ExperimentOpts) (*Simulator, error) {
 	cfg, err := Design(design)
 	if err != nil {
 		return nil, err
 	}
-	return New(cfg)
+	return New(o.tuneCfg(cfg))
+}
+
+// tuneCfg applies the simulator-level options to one design config:
+// SimWorkers maps onto Config.ShardedRouters/ShardCount. Every runner
+// routes its configs through here so a single -sim-workers flag shards
+// all simulators an experiment builds.
+func (o ExperimentOpts) tuneCfg(cfg Config) Config {
+	if o.SimWorkers != 0 {
+		cfg.ShardedRouters = true
+		if o.SimWorkers > 0 {
+			cfg.ShardCount = o.SimWorkers
+		}
+	}
+	return cfg
 }
 
 // pointLabel names a (design, load) point for progress output.
@@ -156,7 +171,7 @@ func runFig2(o ExperimentOpts) ([]Fig2Row, error) {
 		for _, design := range []string{"1NT-512b", "1NT-128b"} {
 			cfg := mustDesign(design)
 			cfg.AppTraffic = true
-			sim := mustSim(cfg)
+			sim := mustSim(o.tuneCfg(cfg))
 			if _, err := sim.UseMix(mix); err != nil {
 				return nil, err
 			}
@@ -229,7 +244,7 @@ func runFig6(ctx context.Context, o ExperimentOpts) ([]Fig6Point, error) {
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig6Point, error) {
-					sim, err := newSim(d)
+					sim, err := newSim(d, o)
 					if err != nil {
 						return Fig6Point{}, err
 					}
@@ -331,7 +346,7 @@ func runAppWorkloads(ctx context.Context, o ExperimentOpts) ([]AppRow, error) {
 					return AppRow{}, err
 				}
 				cfg.AppTraffic = true
-				sim, err := New(cfg)
+				sim, err := New(o.tuneCfg(cfg))
 				if err != nil {
 					return AppRow{}, err
 				}
@@ -425,7 +440,7 @@ func runFig10(ctx context.Context, o ExperimentOpts) ([]Fig10Point, error) {
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig10Point, error) {
-					sim, err := newSim(d)
+					sim, err := newSim(d, o)
 					if err != nil {
 						return Fig10Point{}, err
 					}
@@ -528,7 +543,7 @@ func runFig11(ctx context.Context, o ExperimentOpts) ([]Fig11Point, error) {
 				Label:  pointLabel(pol.Name, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig11Point, error) {
-					sim, err := New(pol.Cfg())
+					sim, err := New(o.tuneCfg(pol.Cfg()))
 					if err != nil {
 						return Fig11Point{}, err
 					}
@@ -580,7 +595,7 @@ func runFig12(o ExperimentOpts) []Fig12Point {
 	if window == 0 {
 		window = 50
 	}
-	sim := mustSim(mustDesign("4NT-128b-PG"))
+	sim := mustSim(o.tuneCfg(mustDesign("4NT-128b-PG")))
 	if o.Telemetry != nil {
 		sim.EnableTelemetry(o.Telemetry, "fig12")
 	}
@@ -687,7 +702,7 @@ func runFig13(ctx context.Context, o ExperimentOpts) ([]Fig13Point, error) {
 						cfg.Metric = congestion.IR
 						cfg.MetricThreshold = thr
 						cfg.Name = fmt.Sprintf("4NT-128b-IR-%.2f", thr)
-						sim, err := New(cfg)
+						sim, err := New(o.tuneCfg(cfg))
 						if err != nil {
 							return Fig13Point{}, err
 						}
@@ -744,7 +759,7 @@ func runFig14(ctx context.Context, o ExperimentOpts) ([]Fig14Point, error) {
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig14Point, error) {
-					sim, err := newSim(d)
+					sim, err := newSim(d, o)
 					if err != nil {
 						return Fig14Point{}, err
 					}
@@ -811,7 +826,7 @@ func runProfiles(ctx context.Context, o ExperimentOpts) ([]ProfileRow, error) {
 				cfg.Subnets, cfg.LinkWidthBits = 1, 256
 				cfg.AppTraffic = true
 				cfg.ApplyDefaults()
-				sim, err := New(cfg)
+				sim, err := New(o.tuneCfg(cfg))
 				if err != nil {
 					return ProfileRow{}, err
 				}
@@ -894,7 +909,7 @@ func runTopology(ctx context.Context, o ExperimentOpts) ([]TopologyPoint, error)
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (TopologyPoint, error) {
-					sim, err := newSim(d)
+					sim, err := newSim(d, o)
 					if err != nil {
 						return TopologyPoint{}, err
 					}
@@ -964,7 +979,7 @@ func runHetero(ctx context.Context, o ExperimentOpts) ([]HeteroRow, error) {
 				cfg.AppTraffic = true
 				cfg.LocalOnly = localOnly
 				cfg.Name = "4NT-128b-PG-" + label
-				sim, err := New(cfg)
+				sim, err := New(o.tuneCfg(cfg))
 				if err != nil {
 					return HeteroRow{}, err
 				}

@@ -162,10 +162,34 @@ func (p *diffProbe) AfterCycle(now int64) {
 	}
 }
 
+// diffOpts parameterizes one differential run. The flip lists toggle the
+// corresponding mode at those cycles mid-run: flipRef toggles the
+// reference scan, flipShards toggles sharding between `shards` and off,
+// flipParallel toggles ParallelSubnets.
+type diffOpts struct {
+	gating       string
+	parallel     bool
+	ref          bool
+	shards       int // router-phase shard count (0 = unsharded)
+	sched        traffic.Schedule
+	cycles       int
+	flipRef      []int
+	flipShards   []int
+	flipParallel []int
+}
+
 // diffRun executes the full stack for cycles and fingerprints it.
 // flipAt, when non-empty, toggles the stepping mode at those cycles
 // (mid-run switch support).
 func diffRun(t *testing.T, gating string, parallel, ref bool, sched traffic.Schedule, cycles int, flipAt ...int) diffFingerprint {
+	t.Helper()
+	return diffRunWith(t, diffOpts{
+		gating: gating, parallel: parallel, ref: ref,
+		sched: sched, cycles: cycles, flipRef: flipAt,
+	})
+}
+
+func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 	t.Helper()
 	cfg := testConfig(8, 8, 4, 128)
 	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
@@ -176,13 +200,13 @@ func diffRun(t *testing.T, gating string, parallel, ref bool, sched traffic.Sche
 	net.SetPowerTracer(tr)
 
 	var det *congestion.Detector
-	switch gating {
+	switch o.gating {
 	case "catnap", "opaque":
 		det = congestion.NewDetector(net, congestion.Default(congestion.BFM))
 		det.SetTracer(tr)
 		net.AddObserver(det)
 		net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
-		if gating == "catnap" {
+		if o.gating == "catnap" {
 			net.SetGatingPolicy(core.NewCatnapGating(det))
 		} else {
 			net.SetGatingPolicy(opaqueGating{p: core.NewCatnapGating(det)})
@@ -191,30 +215,48 @@ func diffRun(t *testing.T, gating string, parallel, ref bool, sched traffic.Sche
 		net.SetGatingPolicy(core.BaselineGating{})
 	case "none":
 	default:
-		t.Fatalf("unknown gating flavor %q", gating)
+		t.Fatalf("unknown gating flavor %q", o.gating)
 	}
 
 	fp := diffFingerprint{}
-	probe := &diffProbe{t: t, net: net, out: &fp.cycleHash, check: !ref && len(flipAt) == 0}
+	noFlips := len(o.flipRef) == 0 && len(o.flipShards) == 0 && len(o.flipParallel) == 0
+	probe := &diffProbe{t: t, net: net, out: &fp.cycleHash, check: !o.ref && noFlips}
 	net.AddObserver(probe)
 
-	net.SetReferenceScan(ref)
+	net.SetReferenceScan(o.ref)
 	if det != nil {
-		det.SetReferenceScan(ref)
+		det.SetReferenceScan(o.ref)
 	}
-	net.SetParallel(parallel)
+	net.SetParallel(o.parallel)
+	net.SetShards(o.shards)
 
-	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, sched, 99)
-	mode := ref
-	flips := append([]int(nil), flipAt...)
-	for i := 0; i < cycles; i++ {
-		if len(flips) > 0 && i == flips[0] {
-			flips = flips[1:]
-			mode = !mode
-			net.SetReferenceScan(mode)
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, o.sched, 99)
+	refMode, parMode, shardMode := o.ref, o.parallel, o.shards
+	flipRef := append([]int(nil), o.flipRef...)
+	flipShards := append([]int(nil), o.flipShards...)
+	flipParallel := append([]int(nil), o.flipParallel...)
+	for i := 0; i < o.cycles; i++ {
+		if len(flipRef) > 0 && i == flipRef[0] {
+			flipRef = flipRef[1:]
+			refMode = !refMode
+			net.SetReferenceScan(refMode)
 			if det != nil {
-				det.SetReferenceScan(mode)
+				det.SetReferenceScan(refMode)
 			}
+		}
+		if len(flipShards) > 0 && i == flipShards[0] {
+			flipShards = flipShards[1:]
+			if shardMode != 0 {
+				shardMode = 0
+			} else {
+				shardMode = o.shards
+			}
+			net.SetShards(shardMode)
+		}
+		if len(flipParallel) > 0 && i == flipParallel[0] {
+			flipParallel = flipParallel[1:]
+			parMode = !parMode
+			net.SetParallel(parMode)
 		}
 		gen.Tick(net.Now())
 		net.Step()

@@ -43,6 +43,16 @@ type Network struct {
 	netLatency *stats.Latency
 
 	parallel bool
+	// shardCount/plan/shardTasks implement the sharded router phase (see
+	// shard.go): a non-nil plan splits every subnet's router phase into
+	// row-band tasks run concurrently with commit-queue staging.
+	// shardTasks is the reused per-cycle task-list scratch.
+	shardCount int
+	plan       *shardPlan
+	shardTasks []shardTask
+	// recycle enables the per-NI packet freelist: delivered packets are
+	// reused by later NewPacket calls at the same source node.
+	recycle bool
 	// refScan selects the retained O(nodes) scan-based router/power/
 	// sampling phases instead of the incremental O(active) ones; results
 	// are bit-identical either way (the differential tests assert it).
@@ -217,11 +227,32 @@ func (n *Network) NI(i int) *NI { return n.nis[i] }
 // Now returns the current cycle (the cycle the next Step will execute).
 func (n *Network) Now() int64 { return n.now }
 
+// SetPacketRecycling enables (or disables) per-NI packet freelists:
+// once a packet's tail flit ejects and every delivery sink has run, the
+// Packet struct is returned to its source NI's freelist and reused by a
+// later NewPacket there, taking the per-injection heap allocation out of
+// the steady-state loop. Off by default because it changes NewPacket's
+// contract: with recycling on, callers and sinks must not retain (or
+// read) a *Packet after its delivery callbacks return — every field,
+// including Payload, is reused. The Simulator enables it; its traffic
+// generators and system models never retain packets.
+func (n *Network) SetPacketRecycling(on bool) { n.recycle = on }
+
 // NewPacket creates a packet from src to dst with a unique ID and the
 // current cycle as its creation time, and enqueues it at src's NI source
-// queue. It returns the packet for callers that track completion.
+// queue. It returns the packet for callers that track completion; see
+// SetPacketRecycling for the lifetime caveat.
 func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet {
-	p := &Packet{
+	ni := n.nis[src]
+	var p *Packet
+	if k := len(ni.free) - 1; n.recycle && k >= 0 {
+		p = ni.free[k]
+		ni.free[k] = nil
+		ni.free = ni.free[:k]
+	} else {
+		p = new(Packet)
+	}
+	*p = Packet{
 		ID:         n.nextPktID,
 		Src:        src,
 		Dst:        dst,
@@ -233,7 +264,7 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 	n.nextPktID++
 	n.createdPkts++
 	n.inFlight++
-	n.nis[src].enqueue(p)
+	ni.enqueue(p)
 	n.niWorkBits[src>>6] |= 1 << (uint(src) & 63)
 	return p
 }
@@ -243,9 +274,18 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 // during those phases — wheels, events, and wake signals are all
 // per-subnet, and policies only read the (phase-stable) detector state —
 // so results are bit-identical to sequential execution; the equivalence
-// is asserted by TestParallelEquivalence. Custom GatingPolicy
-// implementations must tolerate concurrent calls from different subnets
-// when this is on.
+// is asserted by TestParallelEquivalence.
+//
+// Concurrency contract: with this on (and likewise with SetShards),
+// GatingPolicy and PowerTracer callbacks are invoked from worker
+// goroutines, concurrently across subnets — not merely "must tolerate
+// concurrent calls" in the abstract: every AllowSleep/WantWake call and
+// every sleep/wake trace event can arrive on a different goroutine than
+// the one calling Step. The built-in policies and the telemetry tracer
+// are race-free under this contract (asserted by the -race suite, see
+// TestShardedBuiltinPoliciesRace); custom implementations must be too.
+// When combined with SetShards, the per-subnet commit/power stage also
+// runs on the shared worker pool instead of one goroutine per subnet.
 func (n *Network) SetParallel(on bool) { n.parallel = on && len(n.subnets) > 1 }
 
 // Step advances the network by one cycle.
@@ -269,7 +309,9 @@ func (n *Network) Step() {
 			}
 		}
 	}
-	if n.parallel {
+	if n.plan != nil && !n.refScan {
+		n.stepSharded(t)
+	} else if n.parallel {
 		var wg sync.WaitGroup
 		for _, s := range n.subnets {
 			wg.Add(1)
@@ -330,6 +372,11 @@ func (n *Network) eject(now int64, node int, f flit) {
 	n.netLatency.Observe(p.NetworkLatency())
 	for _, sink := range n.sinks {
 		sink(now, p)
+	}
+	if n.recycle {
+		// All sinks have run; the struct may now be reused by the next
+		// NewPacket at the source node (see SetPacketRecycling).
+		n.nis[p.Src].free = append(n.nis[p.Src].free, p)
 	}
 }
 

@@ -1,5 +1,40 @@
 package noc
 
+// pktQueue is a growable FIFO ring of packets. The previous slice-based
+// queues (pop via q = q[1:], push via append) leaked capacity on every
+// pop and re-allocated continuously under steady load; the ring reaches
+// its high-water capacity once and then never allocates again.
+type pktQueue struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (q *pktQueue) len() int { return q.n }
+
+func (q *pktQueue) front() *Packet { return q.buf[q.head] }
+
+func (q *pktQueue) push(p *Packet) {
+	if q.n == len(q.buf) {
+		grown := make([]*Packet, 2*len(q.buf)+4)
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktQueue) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // do not retain packets past their dequeue
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
 // pktStream is one packet mid-serialization into a subnet.
 type pktStream struct {
 	pkt     *Packet
@@ -55,11 +90,15 @@ type NI struct {
 	// the bounded injection queue. Open-loop traffic measures offered vs
 	// accepted throughput through this queue; closed-loop models keep it
 	// near-empty by construction (cores block on MSHRs).
-	sourceQ []*Packet
+	sourceQ pktQueue
 	// injQ is the bounded NI buffer (capacity Config.InjQueueFlits in
 	// flits). Packets at its head are assigned a subnet by the selector.
-	injQ      []*Packet
+	injQ      pktQueue
 	injQFlits int
+
+	// free is the packet freelist (SetPacketRecycling): delivered packets
+	// whose source is this node, awaiting reuse by NewPacket.
+	free []*Packet
 
 	channels []subnetChannel
 
@@ -99,7 +138,7 @@ func newNI(net *Network, node int) *NI {
 
 // enqueue admits a freshly created packet into the source queue.
 func (ni *NI) enqueue(p *Packet) {
-	ni.sourceQ = append(ni.sourceQ, p)
+	ni.sourceQ.push(p)
 }
 
 // QueueOccupancyFlits returns the bounded injection queue's occupancy in
@@ -108,12 +147,12 @@ func (ni *NI) QueueOccupancyFlits() int { return ni.injQFlits }
 
 // SourceQueueLen returns the unbounded source queue length in packets
 // (diagnostic; large values mean the offered load exceeds acceptance).
-func (ni *NI) SourceQueueLen() int { return len(ni.sourceQ) }
+func (ni *NI) SourceQueueLen() int { return ni.sourceQ.len() }
 
 // Backlogged reports whether this NI holds any packet that has not yet
 // fully entered the network.
 func (ni *NI) Backlogged() bool {
-	if len(ni.sourceQ) > 0 || len(ni.injQ) > 0 {
+	if ni.sourceQ.len() > 0 || ni.injQ.len() > 0 {
 		return true
 	}
 	for s := range ni.channels {
@@ -150,16 +189,14 @@ func (ni *NI) injectPhase(now int64) {
 	// flit counts are measured at subnet width (all subnets share one
 	// width by construction). A single packet larger than the whole queue
 	// is admitted alone.
-	for len(ni.sourceQ) > 0 {
-		p := ni.sourceQ[0]
+	for ni.sourceQ.len() > 0 {
+		p := ni.sourceQ.front()
 		nf := FlitsForWidth(p.SizeBits, cfg.LinkWidthBits)
 		if ni.injQFlits+nf > cfg.InjQueueFlits && ni.injQFlits > 0 {
 			break
 		}
 		p.NumFlits = nf
-		ni.sourceQ[0] = nil
-		ni.sourceQ = ni.sourceQ[1:]
-		ni.injQ = append(ni.injQ, p)
+		ni.injQ.push(ni.sourceQ.pop())
 		ni.injQFlits += nf
 		ni.net.niQueueFlits += nf
 	}
@@ -167,8 +204,8 @@ func (ni *NI) injectPhase(now int64) {
 	// Head-of-line subnet selection: the head packet is assigned to a
 	// subnet whose channel has a free stream slot and a free local VC for
 	// the packet's class.
-	if len(ni.injQ) > 0 {
-		head := ni.injQ[0]
+	if ni.injQ.len() > 0 {
+		head := ni.injQ.front()
 		mask := cfg.vcMask(head.Class)
 		ready := ni.readyScratch
 		for s := range ready {
@@ -186,8 +223,7 @@ func (ni *NI) injectPhase(now int64) {
 			ch.busy[vc] = true
 			ch.active++
 			head.Subnet = s
-			ni.injQ[0] = nil
-			ni.injQ = ni.injQ[1:]
+			ni.injQ.pop()
 		}
 	}
 

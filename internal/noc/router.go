@@ -163,6 +163,11 @@ type Router struct {
 	// cycle (one buffer read port per input port).
 	grantedInput []bool
 	vaRR         int
+
+	// cq is this router's shard commit queue when sharding is configured
+	// (nil otherwise). Switch allocation stages cross-router effects into
+	// it while the subnet is in its concurrent router phase (sub.staging).
+	cq *commitQueue
 }
 
 // init wires the router into its subnet at the given node.
@@ -474,6 +479,10 @@ func (r *Router) switchAllocate(now int64) int {
 	if r.slotMask && !r.sub.refScan {
 		return r.switchAllocateFast(now)
 	}
+	var cq *commitQueue
+	if r.sub.staging {
+		cq = r.cq
+	}
 	nports := len(r.in)
 	local := r.sub.net.localPort
 	vcs := r.sub.net.cfg.VCs
@@ -517,15 +526,19 @@ func (r *Router) switchAllocate(now int64) int {
 					// behind a router that sleeps later is stranded
 					// forever in a quiet network.
 					if dr.state == PowerAsleep {
-						cfg := r.sub.net.cfg
-						dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
-						r.sub.events.WakeupSignals++
+						if cq != nil {
+							cq.wakes = append(cq.wakes, int32(op.downstream))
+						} else {
+							cfg := r.sub.net.cfg
+							dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+							r.sub.events.WakeupSignals++
+						}
 					}
 					r.blockedFlitCycles++
 					continue
 				}
 			}
-			r.traverse(now, p, v, vc, o, op)
+			r.traverse(now, p, v, vc, o, op, cq)
 			op.rr = (idx + 1) % slots
 			granted = true
 			moved++
@@ -547,6 +560,10 @@ func (r *Router) switchAllocate(now int64) int {
 // non-empty slot can be missed. grantedInput was reset by the caller.
 func (r *Router) switchAllocateFast(now int64) int {
 	moved := 0
+	var cq *commitQueue
+	if r.sub.staging {
+		cq = r.cq
+	}
 	nports := len(r.in)
 	local := r.sub.net.localPort
 	cfg := r.sub.net.cfg
@@ -604,14 +621,18 @@ func (r *Router) switchAllocateFast(now int64) int {
 				}
 				if dr := &r.sub.routers[op.downstream]; dr.state != PowerActive {
 					if dr.state == PowerAsleep {
-						dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
-						r.sub.events.WakeupSignals++
+						if cq != nil {
+							cq.wakes = append(cq.wakes, int32(op.downstream))
+						} else {
+							dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+							r.sub.events.WakeupSignals++
+						}
 					}
 					r.blockedFlitCycles++
 					continue
 				}
 			}
-			r.traverse(now, p, v, vc, o, op)
+			r.traverse(now, p, v, vc, o, op, cq)
 			op.rr = (idx + 1) % slots
 			granted = true
 			moved++
@@ -623,8 +644,12 @@ func (r *Router) switchAllocateFast(now int64) int {
 
 // traverse moves the front flit of input (p, v) through the crossbar onto
 // output port o, updating credits, wormhole state, look-ahead routing and
-// the staged arrival/credit wheels.
-func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPort) {
+// the staged arrival/credit wheels. During the sharded router phase cq is
+// non-nil and every write that leaves the router — wheel staging, the
+// downstream pin, subnet aggregates, activity counters — is buffered in
+// it instead, to be replayed in order by applyCommits; all router-local
+// state (buffers, credits, wormhole allocation) is still updated inline.
+func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPort, cq *commitQueue) {
 	cfg := r.sub.net.cfg
 	f := vc.pop()
 	if vc.empty() {
@@ -633,24 +658,39 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 	occ := r.in[p].occupancy - 1
 	r.in[p].occupancy = occ
 	r.totalOcc--
-	r.sub.bufferedFlits--
+	if cq != nil {
+		cq.buffered--
+	} else {
+		r.sub.bufferedFlits--
+	}
 	if occ+1 == r.maxPortOcc {
 		// The decremented port may have been the sole argmax; recompute.
 		if m := r.MaxPortOccupancyScan(); m != r.maxPortOcc {
-			r.sub.noteBFM(r.maxPortOcc, m)
+			if cq != nil {
+				cq.bfm = append(cq.bfm, bfmOp{from: int32(r.maxPortOcc), to: int32(m)})
+			} else {
+				r.sub.noteBFM(r.maxPortOcc, m)
+			}
 			r.maxPortOcc = m
 		}
 	}
 	if r.totalOcc == 0 {
-		r.sub.clearOccupied(r.node)
 		// The router was occupied at powerPhase(now-1): RouterDelay >= 1
 		// means this flit was delivered no later than cycle now-1, so the
 		// buffers were non-empty when the previous power phase ran.
-		r.noteBusyEnd(now, now-1)
+		if cq != nil {
+			cq.idled = append(cq.idled, int32(r.node))
+		} else {
+			r.sub.clearOccupied(r.node)
+			r.noteBusyEnd(now, now-1)
+		}
 	}
 	r.grantedInput[p] = true
 	r.grantedFlits++
 	ev := r.sub.events
+	if cq != nil {
+		ev = &cq.events
+	}
 	ev.BufferReads++
 	ev.XbarTraversals++
 	ev.ArbiterOps++
@@ -668,15 +708,27 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 	// Return a credit to whoever feeds this input port (upstream router or
 	// the local NI).
 	if p == r.sub.net.localPort {
-		r.sub.stageNICredit(now+int64(cfg.CreditDelay), r.node, v)
+		if cq != nil {
+			cq.niCredits = append(cq.niCredits, niCredit{node: r.node, vc: v})
+		} else {
+			r.sub.stageNICredit(now+int64(cfg.CreditDelay), r.node, v)
+		}
 	} else {
 		up := r.sub.feeder[r.node][p]
-		r.sub.stageCredit(now+int64(cfg.CreditDelay), up.node, up.port, v)
+		if cq != nil {
+			cq.credits = append(cq.credits, credit{node: up.node, port: up.port, vc: v})
+		} else {
+			r.sub.stageCredit(now+int64(cfg.CreditDelay), up.node, up.port, v)
+		}
 	}
 
 	if o == r.sub.net.localPort {
 		ev.NIFlits++
-		r.sub.stageEject(now+int64(cfg.LinkDelay), r.node, f)
+		if cq != nil {
+			cq.ejections = append(cq.ejections, ejection{node: r.node, f: f})
+		} else {
+			r.sub.stageEject(now+int64(cfg.LinkDelay), r.node, f)
+		}
 		return
 	}
 
@@ -689,6 +741,12 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 		if cfg.Torus && r.sub.net.topo.WrapsPort(r.node, o) {
 			f.crossed |= dimBit(o)
 		}
+	}
+	if cq != nil {
+		// The downstream pin travels with the arrival and is applied at
+		// commit time (the pinned router may live in another shard).
+		cq.arrivals = append(cq.arrivals, arrival{node: op.downstream, port: op.downInPort, vc: outVC, f: f})
+		return
 	}
 	arriveAt := now + int64(cfg.LinkDelay)
 	dr := &r.sub.routers[op.downstream]

@@ -1,0 +1,195 @@
+package noc_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/congestion"
+	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// The sharded-stepping differentials pin this PR's tentpole property:
+// the row-band sharded router phase (SetShards) must be bit-identical to
+// sequential incremental stepping — same per-cycle state hashes, same
+// power-event totals and transition sequences, same latency distribution,
+// CSC, and flit shares — for any shard count, including counts that do
+// not divide the mesh rows (3 on 8 rows) and counts above the row count,
+// across gating flavors, load regimes, and mid-run mode flips.
+
+// shardCounts returns the shard counts the differentials cover: 1 (the
+// staged machinery with a single band), 2, a non-dividing 3, 8 (= rows),
+// 11 (> rows: trailing bands empty), and GOMAXPROCS (the default the
+// config plumbing picks), deduplicated.
+func shardCounts() []int {
+	counts := []int{1, 2, 3, 8, 11, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	out := counts[:0]
+	for _, k := range counts {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestShardedMatchesSequential is the tentpole differential: under the
+// bursty schedule with full Catnap gating, every shard count must
+// reproduce the sequential incremental run bit for bit — including the
+// exact transition order, since the commit queues are applied in the
+// sequential phase's own (shard, router, port) order.
+func TestShardedMatchesSequential(t *testing.T) {
+	const cycles = 3000
+	seq := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Fig12Bursts(), cycles: cycles})
+	for _, k := range shardCounts() {
+		sharded := diffRunWith(t, diffOpts{gating: "catnap", shards: k, sched: traffic.Fig12Bursts(), cycles: cycles})
+		compareFingerprints(t, "sharded/catnap", seq, sharded, true)
+	}
+}
+
+// TestShardedMatchesSequentialFlavors repeats the differential across
+// the remaining gating flavors (ungated included) at a non-dividing
+// shard count.
+func TestShardedMatchesSequentialFlavors(t *testing.T) {
+	const cycles = 2500
+	for _, gating := range []string{"opaque", "baseline", "none"} {
+		seq := diffRunWith(t, diffOpts{gating: gating, sched: traffic.Fig12Bursts(), cycles: cycles})
+		sharded := diffRunWith(t, diffOpts{gating: gating, shards: 3, sched: traffic.Fig12Bursts(), cycles: cycles})
+		compareFingerprints(t, "sharded/"+gating, seq, sharded, true)
+	}
+}
+
+// TestShardedMatchesSequentialLoads covers the load extremes: the
+// sleep-dominated low-load region and saturation (dense occupancy, heavy
+// cross-shard traffic at every band boundary).
+func TestShardedMatchesSequentialLoads(t *testing.T) {
+	const cycles = 2500
+	for _, load := range []float64{0.02, 0.45} {
+		seq := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Constant(load), cycles: cycles})
+		for _, k := range []int{2, 3} {
+			sharded := diffRunWith(t, diffOpts{gating: "catnap", shards: k, sched: traffic.Constant(load), cycles: cycles})
+			compareFingerprints(t, "sharded/load", seq, sharded, true)
+		}
+	}
+}
+
+// TestShardedFlipMidRun toggles sharding on and off mid-run, alone and
+// combined with reference-scan and SetParallel flips. Any staged-state
+// conversion bug (commit queues, work bitmaps, check wheels) shows up as
+// a divergence right after the flip cycle.
+func TestShardedFlipMidRun(t *testing.T) {
+	const cycles = 2400
+	base := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Fig12Bursts(), cycles: cycles})
+
+	flipped := diffRunWith(t, diffOpts{gating: "catnap", shards: 3,
+		sched: traffic.Fig12Bursts(), cycles: cycles, flipShards: []int{700, 1500}})
+	compareFingerprints(t, "flip/shards", base, flipped, true)
+
+	// Start sharded; hand over to the reference scan mid-run (which takes
+	// precedence over the still-configured sharding) and back.
+	combined := diffRunWith(t, diffOpts{gating: "catnap", shards: 2,
+		sched: traffic.Fig12Bursts(), cycles: cycles, flipRef: []int{600, 1400}})
+	shardedAll := diffRunWith(t, diffOpts{gating: "catnap", shards: 2,
+		sched: traffic.Fig12Bursts(), cycles: cycles})
+	compareFingerprints(t, "flip/shards+ref", shardedAll, combined, true)
+
+	// SetParallel flips while sharded: cross-subnet transition order is
+	// nondeterministic during the parallel stretch, so compare sorted.
+	parFlip := diffRunWith(t, diffOpts{gating: "catnap", shards: 2,
+		sched: traffic.Fig12Bursts(), cycles: cycles, flipParallel: []int{800, 1600}})
+	compareFingerprints(t, "flip/shards+parallel", shardedAll, parFlip, false)
+}
+
+// TestShardedParallelCombined runs sharding and ParallelSubnets at once:
+// the commit/power stage then also fans out across subnets, so built-in
+// policies and tracers see calls from multiple worker goroutines (the
+// -race run of this test asserts they tolerate it).
+func TestShardedParallelCombined(t *testing.T) {
+	const cycles = 3000
+	seq := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Fig12Bursts(), cycles: cycles})
+	both := diffRunWith(t, diffOpts{gating: "catnap", shards: 3, parallel: true,
+		sched: traffic.Fig12Bursts(), cycles: cycles})
+	compareFingerprints(t, "sharded+parallel", seq, both, false)
+}
+
+// TestShardedBuiltinPoliciesRace exercises every built-in gating flavor
+// with sharding and subnet-parallelism enabled simultaneously; under
+// `go test -race` (make check-race) it is the assertion that the
+// built-in policies, selector, detector, and telemetry tracer honor the
+// concurrency contract documented on SetParallel/SetShards.
+func TestShardedBuiltinPoliciesRace(t *testing.T) {
+	const cycles = 1200
+	for _, gating := range []string{"catnap", "baseline", "none"} {
+		diffRunWith(t, diffOpts{gating: gating, shards: 4, parallel: true,
+			sched: traffic.Constant(0.30), cycles: cycles})
+	}
+}
+
+// drainResult captures everything the drain differential compares.
+type drainResult struct {
+	drained  bool
+	inFlight int64
+	now      int64
+	ejected  int64
+	latMean  float64
+	latP99   int64
+}
+
+// shardedDrainRun loads a gated network, optionally shards it, then
+// drains with the given deadline and snapshots the observable state.
+func shardedDrainRun(t *testing.T, shards int, deadline int64) drainResult {
+	t.Helper()
+	cfg := testConfig(8, 8, 4, 128)
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := congestion.NewDetector(net, congestion.Default(congestion.BFM))
+	net.AddObserver(det)
+	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
+	net.SetGatingPolicy(core.NewCatnapGating(det))
+	net.SetShards(shards)
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Constant(0.40), 7)
+	for i := 0; i < 1500; i++ {
+		gen.Tick(net.Now())
+		net.Step()
+	}
+	res := drainResult{drained: net.Drain(deadline)}
+	res.inFlight = net.InFlight()
+	res.now = net.Now()
+	_, _, res.ejected = net.Counts()
+	res.latMean = net.Latency().Mean()
+	res.latP99 = net.Latency().Percentile(99)
+	if res.drained {
+		if err := net.CheckQuiescent(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+	return res
+}
+
+// TestShardedDrain asserts Drain behaves identically under sharded
+// stepping for every shard count: the deadline path (cut off mid-drain)
+// leaves the same in-flight count and latency stats as sequential, and
+// the full-drain path reaches quiescence at the same cycle with the same
+// distribution. Includes the non-dividing count (3 on 8 rows) and a
+// count above the row count (11).
+func TestShardedDrain(t *testing.T) {
+	for _, deadline := range []int64{40, 20000} {
+		seq := shardedDrainRun(t, 0, deadline)
+		if deadline == 40 && seq.drained {
+			t.Fatal("deadline drain unexpectedly completed (deadline too generous to test the cutoff path)")
+		}
+		if deadline == 20000 && !seq.drained {
+			t.Fatal("sequential full drain failed")
+		}
+		for _, k := range shardCounts() {
+			got := shardedDrainRun(t, k, deadline)
+			if got != seq {
+				t.Fatalf("drain(deadline=%d) shards=%d diverged:\nseq:     %+v\nsharded: %+v", deadline, k, seq, got)
+			}
+		}
+	}
+}

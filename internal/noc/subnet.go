@@ -93,6 +93,16 @@ type Subnet struct {
 	// lastEpoch is the gating-policy epoch observed at the previous power
 	// phase; a change triggers re-evaluation of asleep/blocked routers.
 	lastEpoch uint64
+
+	// Sharded router phase state (see shard.go). shardQueues[k] is band
+	// k's commit queue, shardBusy[k] its processed-router count for the
+	// cycle (telemetry's imbalance series), and staging flips true only
+	// for the duration of the concurrent router phase — while it is set,
+	// switch allocation routes all cross-router effects through the
+	// router's commit queue instead of writing subnet state directly.
+	shardQueues []commitQueue
+	shardBusy   []int32
+	staging     bool
 }
 
 func newSubnet(net *Network, index int) *Subnet {
@@ -219,6 +229,89 @@ func (s *Subnet) routerPhase(now int64) {
 		}
 	}
 }
+
+// routerPhaseShard is routerPhase restricted to shard band `shard`,
+// with all cross-router effects staged in the band's commit queue
+// (s.staging is set, so switchAllocate/traverse route through r.cq).
+// Visit order within the band is ascending node id, identical to the
+// sequential phase's order over those nodes. It also records how many
+// routers the band processed, the telemetry imbalance counter.
+func (s *Subnet) routerPhaseShard(now int64, shard int) {
+	mask := s.net.plan.masks[shard]
+	busy := int32(0)
+	for i, w := range s.occBits {
+		w &= mask[i]
+		for w != 0 {
+			n := i<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			r := &s.routers[n]
+			if r.state != PowerActive {
+				continue
+			}
+			busy++
+			r.vcAllocate()
+			r.switchAllocate(now)
+		}
+	}
+	s.shardBusy[shard] = busy
+}
+
+// applyCommits drains every shard's commit queue in ascending shard
+// order. Bands are contiguous ascending node ranges and each queue holds
+// its effects in staging order, so the replay performs the exact write
+// sequence — wheel appends, pin updates, wakeups, busy-streak ends,
+// aggregate moves — the sequential router phase would have performed,
+// which is what makes sharded stepping bit-identical. Runs after the
+// barrier, single-threaded per subnet, before the power phase.
+func (s *Subnet) applyCommits(now int64) {
+	cfg := s.net.cfg
+	arriveAt := now + int64(cfg.LinkDelay)
+	creditAt := now + int64(cfg.CreditDelay)
+	for k := range s.shardQueues {
+		cq := &s.shardQueues[k]
+		for _, c := range cq.credits {
+			s.stageCredit(creditAt, c.node, c.port, c.vc)
+		}
+		for _, c := range cq.niCredits {
+			s.stageNICredit(creditAt, c.node, c.vc)
+		}
+		for _, a := range cq.arrivals {
+			dr := &s.routers[a.node]
+			if arriveAt > dr.pinnedUntil {
+				dr.pinnedUntil = arriveAt
+			}
+			s.stageArrival(arriveAt, a.node, a.port, a.vc, a.f)
+		}
+		for _, e := range cq.ejections {
+			s.stageEject(arriveAt, e.node, e.f)
+		}
+		for _, nid := range cq.wakes {
+			// First-encounter semantics: the sequential path wakes a
+			// sleeping downstream once and later blockers see it Waking.
+			// Staged requests recorded it Asleep phase-wide; the ordered
+			// re-check here fires only the first one.
+			if dr := &s.routers[nid]; dr.state == PowerAsleep {
+				dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+				s.events.WakeupSignals++
+			}
+		}
+		for _, nid := range cq.idled {
+			s.clearOccupied(int(nid))
+			s.routers[nid].noteBusyEnd(now, now-1)
+		}
+		for _, m := range cq.bfm {
+			s.noteBFM(int(m.from), int(m.to))
+		}
+		s.events.Add(&cq.events)
+		s.bufferedFlits += cq.buffered
+		cq.reset()
+	}
+}
+
+// ShardBusy returns the per-shard processed-router counts of the most
+// recent sharded router phase (nil when sharding is off). Telemetry
+// samples it per cycle; callers must not modify it.
+func (s *Subnet) ShardBusy() []int32 { return s.shardBusy }
 
 // routerPhaseScan is the retained reference implementation: visit every
 // router, skipping gated and empty ones by rescanning their ports.

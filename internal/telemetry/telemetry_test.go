@@ -193,6 +193,70 @@ func TestCollectorEventsAndMetrics(t *testing.T) {
 	}
 }
 
+// TestShardBusySeries: a collector attached to a sharded network emits
+// one noc.shard_busy_router_cycles.<k> series per (subnet, shard), the
+// per-shard busy counts stay within each band's router budget, and at
+// least one shard saw work. An unsharded network must emit none — the
+// series are off by default and exist only when stepping is sharded at
+// attach time.
+func TestShardBusySeries(t *testing.T) {
+	const cycles, window = 1000, 50
+	cfg := testConfig()
+	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+	if err != nil {
+		t.Fatalf("noc.New: %v", err)
+	}
+	det := congestion.NewDetector(net, congestion.Default(congestion.BFM))
+	net.AddObserver(det)
+	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
+	net.SetGatingPolicy(core.NewCatnapGating(det))
+	net.SetShards(2) // before Attach: the collector sizes its series then
+	rec := telemetry.NewRecorder(telemetry.Options{Window: window})
+	rec.Attach(net, det, "shards")
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, burstSchedule(), 42)
+	run(net, gen, cycles)
+
+	prefix := telemetry.MetricShardBusyRouterCycles + "."
+	series := map[string]int{} // metric name -> windows seen
+	busyTotal := 0.0
+	for _, p := range rec.Metrics() {
+		if !strings.HasPrefix(p.Metric, prefix) {
+			continue
+		}
+		if p.Subnet < 0 || p.Subnet >= net.Subnets() {
+			t.Fatalf("shard-busy point with subnet %d", p.Subnet)
+		}
+		// 2 shards over 4 rows: 8 routers per band, so a window can hold
+		// at most 8 busy routers per cycle.
+		if p.Value < 0 || p.Value > window*8 {
+			t.Fatalf("shard-busy window value %v out of range: %+v", p.Value, p)
+		}
+		series[p.Metric]++
+		busyTotal += p.Value
+	}
+	if len(series) != 2 {
+		t.Fatalf("shard-busy series names = %v, want exactly shards 0 and 1", series)
+	}
+	for name, windows := range series {
+		// One point per window per subnet.
+		if want := (cycles / window) * net.Subnets(); windows != want {
+			t.Errorf("%s has %d points, want %d", name, windows, want)
+		}
+	}
+	if busyTotal == 0 {
+		t.Error("no shard reported busy routers despite traffic")
+	}
+
+	// Unsharded control: no shard-busy series at all.
+	net2, gen2, rec2 := buildInstrumented(t, false, telemetry.Options{Window: window})
+	run(net2, gen2, cycles)
+	for _, p := range rec2.Metrics() {
+		if strings.HasPrefix(p.Metric, prefix) {
+			t.Fatalf("unsharded network emitted shard-busy point %+v", p)
+		}
+	}
+}
+
 // TestEventStreamRoundTrip checks the streaming JSONL sink reproduces
 // the in-memory log exactly through ReadAllEvents.
 func TestEventStreamRoundTrip(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"github.com/catnap-noc/catnap/internal/congestion"
 	"github.com/catnap-noc/catnap/internal/core"
@@ -111,6 +112,19 @@ func New(cfg Config) (*Simulator, error) {
 	}
 
 	net.SetParallel(cfg.ParallelSubnets)
+	if cfg.ShardedRouters {
+		k := cfg.ShardCount
+		if k <= 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		net.SetShards(k)
+	}
+	// The Simulator owns every packet producer and consumer it wires up
+	// (synthetic generators discard the handle; the cpusim models retain
+	// only the Payload), so packet structs are recycled through per-NI
+	// freelists. Custom sinks added via Net.AddSink must not retain a
+	// *Packet past the callback.
+	net.SetPacketRecycling(true)
 	s.Model = power.NewModel(cfg.powerParams(), net.Config(), cfg.VoltageV)
 
 	net.AddSink(func(now int64, p *noc.Packet) {
