@@ -2,15 +2,27 @@
 
 GO ?= go
 
-.PHONY: all check check-race build test race bench bench-core bench-compare bench-telemetry experiments quick-experiments fmt vet clean
+.PHONY: all check check-race build test race lint bench bench-core bench-compare bench-telemetry experiments quick-experiments fmt vet clean
 
 all: check
 
-# check is the default verification path: build, tests, the
+# check is the default verification path, in dependency order: build
+# first (cheap, fails fast on syntax), then the static-analysis gate
+# (lint = go vet + catnap-lint, run exactly once here — the race
+# targets no longer duplicate vet), then the plain test suite, the
 # differential suites under the race detector (check-race), the full
-# suite under the race detector plus vet, the telemetry zero-overhead
-# guard, and the core stepping-cost guard.
-check: build test check-race race bench-telemetry bench-core
+# suite under the race detector, the telemetry zero-overhead guard,
+# and the core stepping-cost guard last (slowest).
+check: build lint test check-race race bench-telemetry bench-core
+
+# lint is the single static-analysis entry point: go vet plus the
+# in-tree catnap-lint suite (nodeterminism, hotpathalloc,
+# stagingdiscipline, tracercontract, missingdoc — see DESIGN.md
+# "Static analysis"). catnap-lint also fails on malformed or unused
+# //lint:ignore directives, so stale suppressions cannot linger.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/catnap-lint ./...
 
 # check-race runs the noc + congestion differential suites under the
 # race detector: the sharded router phase, SetParallel, mid-run flips,
@@ -23,7 +35,6 @@ check-race:
 	$(GO) test -race -count=1 -timeout 60m \
 		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential' \
 		./internal/noc ./internal/congestion
-	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
@@ -33,7 +44,6 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) vet ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

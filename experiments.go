@@ -196,6 +196,8 @@ func runFig2(o ExperimentOpts) ([]Fig2Row, error) {
 // Table 2 — router frequency/voltage pairs.
 
 // RunTable2 reproduces Table 2 from the crossbar critical-path model.
+//
+// Deprecated: use RunExperiment(ctx, "table2", opts).
 func RunTable2() []power.Table2Row {
 	p := power.DefaultParams()
 	return p.Table2()
@@ -272,6 +274,8 @@ type Fig7Row struct {
 
 // RunFig7 computes the three Figure 7 bars at per-port load factor 0.5 and
 // bit switching factor 0.15.
+//
+// Deprecated: use RunExperiment(ctx, "fig7", opts).
 func RunFig7() []Fig7Row {
 	mk := func(label, design string, volt float64) Fig7Row {
 		cfg := mustDesign(design)

@@ -1,0 +1,117 @@
+// Package analysistest runs an analyzer over golden packages under
+// testdata/src and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A test package lives at testdata/src/<path>/ relative to the analyzer's
+// test file; <path> becomes the package's import path, so a directory
+// like testdata/src/internal/noc exercises analyzers that gate on the
+// real simulator package paths. Expectations are trailing comments:
+//
+//	x := time.Now() // want `time\.Now`
+//
+// Each backquoted or double-quoted string is a regexp that must match
+// exactly one diagnostic on that line; unexpected diagnostics and
+// unmatched expectations both fail the test. //lint:ignore directives are
+// honoured, so golden packages can also assert the suppression path.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one // want entry: a position and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each testdata package, applies the analyzer, and reports any
+// mismatch between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		runOne(t, a, path)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	pkg, err := analysis.LoadDir(path, dir, ".")
+	if err != nil {
+		t.Fatalf("%s: loading: %v", path, err)
+	}
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[idx+len("// want "):], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, pattern: re,
+					})
+				}
+			}
+		}
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: %v", path, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", path, posString(pos.Filename, pos.Line), d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic at %s matching %q", path, posString(e.file, e.line), e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// pattern matches msg.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posString(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}

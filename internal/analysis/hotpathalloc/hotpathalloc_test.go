@@ -1,0 +1,11 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "hotpath")
+}

@@ -1,0 +1,11 @@
+package missingdoc
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestMissingdoc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "catnap")
+}

@@ -1,0 +1,11 @@
+package nodeterminism
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestNodeterminism(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/noc")
+}

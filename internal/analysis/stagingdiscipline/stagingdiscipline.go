@@ -1,0 +1,360 @@
+// Package stagingdiscipline encodes the sharded router phase's
+// commit-queue rule (DESIGN.md "Sharded router phase") as a checked
+// property: during the concurrent router phase, a router may mutate only
+// its own state — every cross-router effect must be staged in the
+// shard's commit queue and replayed by the designated apply functions
+// after the barrier.
+//
+// Functions that run inside the concurrent phase are annotated
+// //catnap:shard-phase. Within one, the analyzer flags
+//
+//   - writes (assignment, ++/--) whose access path reaches through a
+//     *Subnet or *Network value, or through a Router other than the
+//     method's own receiver, and
+//   - calls to pointer-receiver methods on such values (the stage*/
+//     note*/wake mutators),
+//
+// unless the statement sits where the commit queue is provably nil — the
+// else branch of an `if cq != nil` test, the body of `if cq == nil`, or
+// after an `if cq != nil { ...; return }` early exit — i.e. on the
+// sequential path, where direct writes are the norm. Calls to functions
+// themselves annotated //catnap:shard-phase (the phase's own entry
+// points) or //catnap:staging-safe (audited read-only helpers) are
+// exempt, as are the //catnap:commit-apply functions, which are the
+// designated post-barrier appliers and run single-threaded.
+//
+// The analysis is per-function and branch-sensitive only with respect to
+// nil tests of *commitQueue-typed variables; it does not chase calls. It
+// polices internal/noc, where the sharded phase lives.
+package stagingdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+// Analyzer is the stagingdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "stagingdiscipline",
+	Doc:  "require sharded-phase code to stage cross-router effects in the commit queue",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageInScope(pass.Pkg.Path(), "internal/noc") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasAnnotation(fd, "shard-phase") {
+				continue
+			}
+			if analysis.HasAnnotation(fd, "commit-apply") {
+				continue // designated applier: direct writes are its job
+			}
+			c := &checker{pass: pass, recv: receiverObj(pass, fd)}
+			c.block(fd.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// checker walks one shard-phase function.
+type checker struct {
+	pass *analysis.Pass
+	recv types.Object // the method receiver, exempt from the foreign test
+}
+
+// block walks a statement list in order. cqNil records whether every
+// commit-queue variable is known nil on this path (the sequential mode),
+// which licenses direct writes.
+func (c *checker) block(stmts []ast.Stmt, cqNil bool) {
+	for _, s := range stmts {
+		cqNil = c.stmt(s, cqNil)
+	}
+}
+
+// stmt checks one statement and returns the cqNil state that holds
+// after it (an `if cq != nil { ...; return }` proves nil-ness for the
+// remainder of the enclosing block).
+func (c *checker) stmt(s ast.Stmt, cqNil bool) bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, cqNil)
+		}
+		c.checkExpr(s.Cond, cqNil)
+		switch nilTest(c.pass, s.Cond) {
+		case cqNotNil:
+			c.block(s.Body.List, false)
+			if s.Else != nil {
+				c.elseStmt(s.Else, true)
+			}
+			if terminates(s.Body) {
+				return true // the staged path exited: nil from here on
+			}
+			return cqNil
+		case cqIsNil:
+			c.block(s.Body.List, true)
+			if s.Else != nil {
+				c.elseStmt(s.Else, false)
+			}
+			return cqNil
+		default:
+			c.block(s.Body.List, cqNil)
+			if s.Else != nil {
+				c.elseStmt(s.Else, cqNil)
+			}
+			return cqNil
+		}
+	case *ast.BlockStmt:
+		c.block(s.List, cqNil)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, cqNil)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, cqNil)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, cqNil)
+		}
+		c.block(s.Body.List, cqNil)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, cqNil)
+		c.block(s.Body.List, cqNil)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, cqNil)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, cqNil)
+		}
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, cqNil)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, cqNil)
+		}
+	default:
+		c.checkStmtEffects(s, cqNil)
+	}
+	return cqNil
+}
+
+// elseStmt handles an else arm, which is either a block or a chained if.
+func (c *checker) elseStmt(s ast.Stmt, cqNil bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s.List, cqNil)
+	default:
+		c.stmt(s, cqNil)
+	}
+}
+
+// checkStmtEffects inspects a leaf statement for writes and calls.
+func (c *checker) checkStmtEffects(s ast.Stmt, cqNil bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.DEFINE {
+			for _, lhs := range s.Lhs {
+				if !cqNil && c.foreignPath(lhs) {
+					c.pass.Reportf(s.Pos(),
+						"direct write to %s during the sharded router phase: stage the effect in the commit queue (or guard with `if cq == nil`)", types.ExprString(lhs))
+				}
+			}
+		}
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, cqNil)
+		}
+	case *ast.IncDecStmt:
+		if !cqNil && c.foreignPath(s.X) {
+			c.pass.Reportf(s.Pos(),
+				"direct update of %s during the sharded router phase: stage the effect in the commit queue (or guard with `if cq == nil`)", types.ExprString(s.X))
+		}
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				c.checkCall(call, cqNil)
+			}
+			return true
+		})
+	}
+}
+
+// checkExpr inspects an expression subtree for calls.
+func (c *checker) checkExpr(e ast.Expr, cqNil bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.checkCall(call, cqNil)
+		}
+		return true
+	})
+}
+
+// checkCall flags pointer-receiver method calls on foreign simulator
+// state outside the nil-queue (sequential) path.
+func (c *checker) checkCall(call *ast.CallExpr, cqNil bool) {
+	if cqNil {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := c.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return
+	}
+	if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+		return // value receiver: cannot mutate the callee
+	}
+	if !c.foreignValue(sel.X) {
+		return
+	}
+	if fd := c.pass.FuncDeclOf(fn); fd != nil &&
+		(analysis.HasAnnotation(fd, "shard-phase") || analysis.HasAnnotation(fd, "staging-safe")) {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"call to %s.%s during the sharded router phase mutates state outside this router: stage the effect in the commit queue", types.ExprString(sel.X), fn.Name())
+}
+
+// foreignPath reports whether any step of expr's access path lands on
+// foreign simulator state (see foreignValue), peeling selectors,
+// indexing, derefs and parens.
+func (c *checker) foreignPath(expr ast.Expr) bool {
+	for {
+		if c.foreignValue(expr) {
+			return true
+		}
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// foreignValue reports whether expr denotes simulator state a sharded
+// router phase must not touch directly: a Subnet or Network, or a Router
+// other than the method's own receiver.
+func (c *checker) foreignValue(expr ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Subnet", "Network":
+		if id, ok := expr.(*ast.Ident); ok && c.recv != nil && c.pass.TypesInfo.Uses[id] == c.recv {
+			return false // the method's own receiver
+		}
+		return true
+	case "Router":
+		if id, ok := expr.(*ast.Ident); ok && c.recv != nil && c.pass.TypesInfo.Uses[id] == c.recv {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// nil-test classification of an if condition against *commitQueue vars.
+type nilKind int
+
+const (
+	cqNone nilKind = iota
+	cqIsNil
+	cqNotNil
+)
+
+// nilTest recognises `cq == nil` and `cq != nil` where cq has type
+// *commitQueue.
+func nilTest(pass *analysis.Pass, cond ast.Expr) nilKind {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return cqNone
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(pass, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(pass, y) || !isCommitQueuePtr(pass, x) {
+		return cqNone
+	}
+	if bin.Op == token.EQL {
+		return cqIsNil
+	}
+	return cqNotNil
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+func isCommitQueuePtr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "commitQueue"
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves the enclosing block (return, break/continue/goto, or panic) —
+// the early-exit shape that proves cq == nil for the statements after an
+// `if cq != nil { ...; return }`.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// receiverObj returns the types.Object of fd's receiver, or nil.
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}

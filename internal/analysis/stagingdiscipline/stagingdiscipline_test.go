@@ -1,0 +1,11 @@
+package stagingdiscipline
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestStagingdiscipline(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/noc")
+}

@@ -1,0 +1,94 @@
+// Package noc is stagingdiscipline's golden test package: minimal
+// Network/Subnet/Router/commitQueue shapes mirroring the simulator's,
+// exercising the commit-queue guard analysis branch by branch.
+package noc
+
+type commitQueue struct {
+	credits []int
+	wakes   []int
+}
+
+// Network mirrors the simulator's top-level type name.
+type Network struct {
+	cycles int64
+}
+
+// Subnet mirrors the simulator's per-subnetwork type name.
+type Subnet struct {
+	net      *Network
+	buffered int
+}
+
+func (s *Subnet) stageCredit(c int) { s.buffered += c }
+
+// Router mirrors the simulator's per-node type name.
+type Router struct {
+	sub  *Subnet
+	occ  int
+	cq   *commitQueue
+	seen int64
+}
+
+//catnap:shard-phase
+func (r *Router) badDirect(now int64) {
+	r.occ++                // own state: allowed
+	r.sub.buffered--       // want `direct update of r\.sub\.buffered during the sharded router phase`
+	r.sub.net.cycles = now // want `direct write to r\.sub\.net\.cycles during the sharded router phase`
+	r.sub.stageCredit(1)   // want `call to r\.sub\.stageCredit during the sharded router phase mutates state`
+}
+
+//catnap:shard-phase
+func (r *Router) guarded() {
+	cq := r.cq
+	if cq != nil {
+		cq.credits = append(cq.credits, 1) // staging into the queue: allowed
+		r.sub.buffered--                   // want `direct update of r\.sub\.buffered`
+	} else {
+		r.sub.buffered-- // sequential path, queue known nil: allowed
+	}
+}
+
+//catnap:shard-phase
+func (r *Router) earlyReturn() {
+	cq := r.cq
+	if cq != nil {
+		cq.wakes = append(cq.wakes, 1)
+		return
+	}
+	// The staged path exited above, so this is the sequential path.
+	r.sub.buffered--
+	r.sub.stageCredit(2)
+}
+
+//catnap:shard-phase
+func (r *Router) foreignRouter(dr *Router, now int64) {
+	dr.seen = now // want `direct write to dr\.seen during the sharded router phase`
+}
+
+// apply is the designated post-barrier applier: direct writes are its
+// job, so the checker skips it entirely.
+//
+//catnap:shard-phase
+//catnap:commit-apply
+func (s *Subnet) apply(rs []Router, now int64) {
+	rs[0].occ++
+	s.net.cycles = now
+}
+
+//catnap:shard-phase
+func (r *Router) callsAnnotated(dr *Router) {
+	dr.phaseStep() // callee is shard-phase: allowed
+	dr.readOnly()  // callee is staging-safe: allowed
+}
+
+//catnap:shard-phase
+func (r *Router) phaseStep() { r.occ++ }
+
+// readOnly is an audited read-only helper.
+//
+//catnap:staging-safe
+func (r *Router) readOnly() {}
+
+func (r *Router) unannotated() {
+	r.sub.buffered-- // not a shard-phase function: allowed
+}

@@ -1,0 +1,42 @@
+// Package suite assembles catnap's full analyzer set in one place, so
+// cmd/catnap-lint and the repo-wide lint-clean test run exactly the same
+// checks.
+package suite
+
+import (
+	"github.com/catnap-noc/catnap/internal/analysis"
+	"github.com/catnap-noc/catnap/internal/analysis/hotpathalloc"
+	"github.com/catnap-noc/catnap/internal/analysis/missingdoc"
+	"github.com/catnap-noc/catnap/internal/analysis/nodeterminism"
+	"github.com/catnap-noc/catnap/internal/analysis/stagingdiscipline"
+	"github.com/catnap-noc/catnap/internal/analysis/tracercontract"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterminism.Analyzer,
+		hotpathalloc.Analyzer,
+		stagingdiscipline.Analyzer,
+		tracercontract.Analyzer,
+		missingdoc.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers out of All, or nil when any name is
+// unknown (the caller reports the error with the valid set).
+func ByName(names []string) []*analysis.Analyzer {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}

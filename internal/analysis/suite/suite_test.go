@@ -1,0 +1,55 @@
+package suite
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+// TestRepoLintClean runs the full analyzer suite over the entire module
+// and requires zero diagnostics — the same invocation as `make lint`.
+// The simulator's annotations, fixes, and justified //lint:ignore
+// directives must keep the tree clean, and the driver's unused-directive
+// error makes any stale ignore fail here too.
+func TestRepoLintClean(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, All())
+	if err != nil {
+		t.Errorf("driver: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestByName checks suite selection used by catnap-lint -checks.
+func TestByName(t *testing.T) {
+	got := ByName([]string{"missingdoc", "nodeterminism"})
+	if len(got) != 2 || got[0].Name != "missingdoc" || got[1].Name != "nodeterminism" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if ByName([]string{"nodeterminism", "nope"}) != nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+}
+
+// TestAllNamesUnique guards the //lint:ignore namespace: analyzer names
+// double as suppression keys and must not collide.
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely defined", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,70 @@
+// Package noc is tracercontract's golden test package: callback
+// interfaces with the simulator's Tracer/Policy naming, invoked with and
+// without the worker-safe annotation and under straight-line lock
+// scopes.
+package noc
+
+import "sync"
+
+// PowerTracer mirrors the simulator's tracer callback surface.
+type PowerTracer interface {
+	RouterSlept(now int64, node int)
+}
+
+// GatingPolicy mirrors the simulator's policy callback surface.
+type GatingPolicy interface {
+	AllowSleep(now int64, node int) bool
+}
+
+// Selector has no Tracer/Policy suffix: not a checked callback surface.
+type Selector interface {
+	Select(now int64) int
+}
+
+type core struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	tracer PowerTracer
+	pol    GatingPolicy
+	sel    Selector
+}
+
+func (c *core) unsafe(now int64) {
+	c.tracer.RouterSlept(now, 0) // want `not annotated //catnap:worker-safe`
+}
+
+// safe is audited for worker-goroutine delivery.
+//
+//catnap:worker-safe
+func (c *core) safe(now int64) {
+	if c.tracer != nil {
+		c.tracer.RouterSlept(now, 1)
+	}
+}
+
+//catnap:worker-safe
+func (c *core) locked(now int64) {
+	c.mu.Lock()
+	c.tracer.RouterSlept(now, 2) // want `while holding a lock`
+	c.mu.Unlock()
+	c.tracer.RouterSlept(now, 3) // lock released: allowed
+}
+
+//catnap:worker-safe
+func (c *core) deferred(now int64) bool {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.pol.AllowSleep(now, 4) // want `while holding a lock`
+}
+
+//catnap:worker-safe
+func (c *core) nonCallback(now int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sel.Select(now) // Selector is not a Tracer/Policy: allowed
+}
+
+func (c *core) suppressed(now int64) {
+	//lint:ignore tracercontract golden demonstration of the suppression path
+	c.tracer.RouterSlept(now, 5)
+}

@@ -1,0 +1,204 @@
+// Package tracercontract checks the SetParallel callback contract
+// (documented on noc.SetParallel and noc.SetShards): with parallel or
+// sharded stepping enabled, GatingPolicy and PowerTracer callbacks — and
+// the congestion detector's Tracer hooks — are dispatched from worker
+// goroutines, so the functions that invoke them are part of the audited
+// concurrency surface. The analyzer enforces two rules in internal/noc
+// and internal/congestion:
+//
+//   - every function that invokes a method on a *Tracer- or *Policy-
+//     suffixed interface must be annotated //catnap:worker-safe, marking
+//     it as reviewed against that contract (the annotation's free-form
+//     note records on which goroutines the callbacks fire);
+//
+//   - no such callback may be invoked while a sync lock is held (a
+//     Lock/RLock on the path with no intervening Unlock/RUnlock, or a
+//     deferred Unlock pending): a callback that re-enters the simulator
+//     or blocks on its own synchronisation would deadlock or order
+//     events nondeterministically. The simulator proper is lock-free by
+//     design; this keeps it that way around the callback surface.
+//
+// The lock analysis is a straight-line, per-function approximation:
+// precise enough for the flat lock scopes Go style encourages, and every
+// miss is still caught dynamically by the -race differential suites.
+package tracercontract
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+// Analyzer is the tracercontract pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracercontract",
+	Doc:  "require tracer/policy callback sites to be worker-safe annotated and lock-free",
+	Run:  run,
+}
+
+var scope = []string{"internal/noc", "internal/congestion"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageInScope(pass.Pkg.Path(), scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, workerSafe: analysis.HasAnnotation(fd, "worker-safe")}
+			c.block(fd.Body.List, 0)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	workerSafe bool
+}
+
+// block walks a statement list tracking how many locks are held. locks
+// counts Lock/RLock calls not yet matched by Unlock/RUnlock in this
+// straight-line scope; a deferred Unlock does not release for the rest
+// of the function body.
+func (c *checker) block(stmts []ast.Stmt, locks int) {
+	for _, s := range stmts {
+		locks = c.stmt(s, locks)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, locks int) int {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch lockKind(c.pass, call) {
+			case lockAcquire:
+				return locks + 1
+			case lockRelease:
+				if locks > 0 {
+					return locks - 1
+				}
+				return 0
+			}
+		}
+		c.checkCalls(s, locks)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at function exit, not here: the lock
+		// stays held for the remaining statements.
+		if lockKind(c.pass, s.Call) == lockNone {
+			c.checkCalls(s, locks)
+		}
+	case *ast.BlockStmt:
+		c.block(s.List, locks)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, locks)
+		}
+		c.checkCalls(s.Cond, locks)
+		c.block(s.Body.List, locks)
+		if s.Else != nil {
+			c.stmt(s.Else, locks)
+		}
+	case *ast.ForStmt:
+		c.block(s.Body.List, locks)
+	case *ast.RangeStmt:
+		c.block(s.Body.List, locks)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, locks)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, locks)
+		}
+	default:
+		c.checkCalls(s, locks)
+	}
+	return locks
+}
+
+// checkCalls flags tracer/policy callback invocations under node n.
+func (c *checker) checkCalls(n ast.Node, locks int) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := c.pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.MethodVal || !isCallbackIface(s.Recv()) {
+			return true
+		}
+		if locks > 0 {
+			c.pass.Reportf(call.Pos(),
+				"%s callback invoked while holding a lock: callbacks must fire lock-free per the SetParallel contract", ifaceName(s.Recv()))
+		}
+		if !c.workerSafe {
+			c.pass.Reportf(call.Pos(),
+				"%s callback invoked from a function not annotated //catnap:worker-safe: document the goroutine contract before dispatching callbacks", ifaceName(s.Recv()))
+		}
+		return true
+	})
+}
+
+// lock classification of an expression statement.
+type lockOp int
+
+const (
+	lockNone lockOp = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockKind recognises mutex acquire/release method calls by name on any
+// receiver that has them (sync.Mutex, sync.RWMutex, or embedders).
+func lockKind(pass *analysis.Pass, call *ast.CallExpr) lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone
+	}
+	if s := pass.TypesInfo.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+		return lockNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return lockAcquire
+	case "Unlock", "RUnlock":
+		return lockRelease
+	}
+	return lockNone
+}
+
+// isCallbackIface reports whether t is (a pointer to) an interface whose
+// name ends in Tracer or Policy — the simulator's worker-dispatched
+// callback surfaces.
+func isCallbackIface(t types.Type) bool {
+	return ifaceName(t) != ""
+}
+
+// ifaceName returns the short name of the callback interface, or "".
+func ifaceName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, ok := n.Underlying().(*types.Interface); !ok {
+		return ""
+	}
+	name := n.Obj().Name()
+	if strings.HasSuffix(name, "Tracer") || strings.HasSuffix(name, "Policy") {
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,11 @@
+package tracercontract
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestTracercontract(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/noc")
+}

@@ -317,6 +317,7 @@ func (d *Detector) Congested(subnet, node int) bool {
 // skipped node would have sampled zero against a non-negative threshold
 // with its LCS already clear: a no-op in the reference scan too, so the
 // latched sequences are identical.
+//catnap:hotpath runs in the observer phase every cycle
 func (d *Detector) AfterCycle(now int64) {
 	windowEnd := now-d.winStart >= d.cfg.WindowCycles
 	if windowEnd {
@@ -362,6 +363,9 @@ func (d *Detector) AfterCycle(now int64) {
 
 // updateLCS applies one node's set/clear-with-hysteresis step given its
 // raw metric sample — the shared per-node body of both sampling paths.
+//
+//catnap:hotpath
+//catnap:worker-safe observer phase runs on Step's caller, but the Tracer contract admits worker delivery
 func (d *Detector) updateLCS(now int64, s, n int, raw float64) {
 	idx := s*d.nodes + n
 	if raw > d.cfg.Threshold {
@@ -385,6 +389,8 @@ func (d *Detector) updateLCS(now int64, s, n int, raw float64) {
 }
 
 // sample returns the raw metric value for (subnet, node) this cycle.
+//
+//catnap:hotpath
 func (d *Detector) sample(subnet, node int) float64 {
 	switch d.cfg.Metric {
 	case BFM:
@@ -403,6 +409,8 @@ func (d *Detector) sample(subnet, node int) float64 {
 
 // sampleScan is sample for the reference path: the occupancy metrics
 // rescan the router's ports instead of reading the maintained counters.
+//
+//catnap:hotpath
 func (d *Detector) sampleScan(subnet, node int) float64 {
 	switch d.cfg.Metric {
 	case BFM:
@@ -417,6 +425,8 @@ func (d *Detector) sampleScan(subnet, node int) float64 {
 
 // closeWindow recomputes the windowed metrics (IR, Delay) from counter
 // deltas over the window just ended.
+//
+//catnap:hotpath once per WindowCycles
 func (d *Detector) closeWindow(now int64) {
 	w := float64(now - d.winStart)
 	if w <= 0 {
@@ -473,9 +483,13 @@ func (d *Detector) closeWindow(now int64) {
 // latchRCS recomputes every region's OR output from current LCS values.
 // The fast path ORs over the set-LCS bitmap instead of scanning every
 // node; the result is the same OR.
+//
+//catnap:hotpath once per RCSPeriod
+//catnap:worker-safe see updateLCS: RCSChanged follows the same Tracer delivery contract
 func (d *Detector) latchRCS(now int64) {
 	d.rcsE.Latches++
 	if d.orScratch == nil {
+		//lint:ignore hotpathalloc lazy one-time scratch allocation; every later latch reuses it
 		d.orScratch = make([]bool, d.regions)
 	}
 	for s := 0; s < d.subnets; s++ {

@@ -242,6 +242,8 @@ func (n *Network) SetPacketRecycling(on bool) { n.recycle = on }
 // current cycle as its creation time, and enqueues it at src's NI source
 // queue. It returns the packet for callers that track completion; see
 // SetPacketRecycling for the lifetime caveat.
+//
+//catnap:hotpath called once per injected packet
 func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet {
 	ni := n.nis[src]
 	var p *Packet
@@ -250,6 +252,7 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 		ni.free[k] = nil
 		ni.free = ni.free[:k]
 	} else {
+		//lint:ignore hotpathalloc freelist miss: one allocation per live packet, amortised away once recycling warms the freelist
 		p = new(Packet)
 	}
 	*p = Packet{
@@ -289,6 +292,9 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 func (n *Network) SetParallel(on bool) { n.parallel = on && len(n.subnets) > 1 }
 
 // Step advances the network by one cycle.
+//
+//catnap:hotpath the per-cycle entry point; the bench-core guard asserts 0 B/cycle through here
+//catnap:worker-pool legacy SetParallel spawn: one transient goroutine per subnet, joined before return
 func (n *Network) Step() {
 	t := n.now
 	for _, s := range n.subnets {
@@ -315,6 +321,7 @@ func (n *Network) Step() {
 		var wg sync.WaitGroup
 		for _, s := range n.subnets {
 			wg.Add(1)
+			//lint:ignore hotpathalloc legacy SetParallel fan-out allocates one closure per subnet per cycle; the 0 B/cycle guard binds the default sequential path
 			go func(s *Subnet) {
 				defer wg.Done()
 				s.routerPhase(t)
@@ -356,6 +363,8 @@ func (n *Network) Drain(maxCycles int64) bool {
 
 // eject completes a flit's journey at its destination NI; the tail flit
 // completes the packet.
+//
+//catnap:hotpath called once per delivered flit
 func (n *Network) eject(now int64, node int, f flit) {
 	p := f.pkt
 	if p.Dst != node {
@@ -467,6 +476,8 @@ func (n *Network) NIQueuedBits() []uint64 { return n.niQBits }
 
 // setNIQueued maintains the nonempty-injection-queue bitmap; each NI
 // calls it at the end of its inject phase.
+//
+//catnap:hotpath
 func (n *Network) setNIQueued(node int, queued bool) {
 	if queued {
 		n.niQBits[node>>6] |= 1 << (uint(node) & 63)

@@ -14,8 +14,10 @@ func (q *pktQueue) len() int { return q.n }
 
 func (q *pktQueue) front() *Packet { return q.buf[q.head] }
 
+//catnap:hotpath
 func (q *pktQueue) push(p *Packet) {
 	if q.n == len(q.buf) {
+		//lint:ignore hotpathalloc one-time ring growth to the high-water capacity; steady state never re-enters this branch
 		grown := make([]*Packet, 2*len(q.buf)+4)
 		for i := 0; i < q.n; i++ {
 			grown[i] = q.buf[(q.head+i)%len(q.buf)]
@@ -27,6 +29,7 @@ func (q *pktQueue) push(p *Packet) {
 	q.n++
 }
 
+//catnap:hotpath
 func (q *pktQueue) pop() *Packet {
 	p := q.buf[q.head]
 	q.buf[q.head] = nil // do not retain packets past their dequeue
@@ -137,6 +140,8 @@ func newNI(net *Network, node int) *NI {
 }
 
 // enqueue admits a freshly created packet into the source queue.
+//
+//catnap:hotpath
 func (ni *NI) enqueue(p *Packet) {
 	ni.sourceQ.push(p)
 }
@@ -168,6 +173,8 @@ func (ni *NI) Backlogged() bool {
 func (ni *NI) streaming(s int) bool { return ni.channels[s].active > 0 }
 
 // creditReturn gives back one buffer slot of the local router's input VC.
+//
+//catnap:hotpath
 func (ni *NI) creditReturn(subnet, vc int) {
 	ni.channels[subnet].credits[vc]++
 }
@@ -175,6 +182,8 @@ func (ni *NI) creditReturn(subnet, vc int) {
 // injectPhase runs once per cycle: admit packets into the bounded queue,
 // assign the head-of-line packet to a subnet via the selector, and stream
 // one flit per subnet channel.
+//
+//catnap:hotpath
 func (ni *NI) injectPhase(now int64) {
 	cfg := ni.net.cfg
 
@@ -280,6 +289,8 @@ func (ni *NI) injectPhase(now int64) {
 }
 
 // streamFlit sends the next flit of one stream into the subnet.
+//
+//catnap:hotpath
 func (ni *NI) streamFlit(now int64, s int, ch *subnetChannel, st *pktStream) {
 	cfg := ni.net.cfg
 	p := st.pkt

@@ -60,6 +60,7 @@ func (v *vcState) empty() bool { return v.count == 0 }
 
 func (v *vcState) front() *flit { return &v.q[v.head] }
 
+//catnap:hotpath
 func (v *vcState) push(f flit) {
 	if v.count == len(v.q) {
 		panic("noc: VC buffer overflow (credit accounting bug)")
@@ -68,6 +69,7 @@ func (v *vcState) push(f flit) {
 	v.count++
 }
 
+//catnap:hotpath
 func (v *vcState) pop() flit {
 	f := v.q[v.head]
 	v.q[v.head].pkt = nil // do not retain the packet past its dequeue
@@ -264,6 +266,9 @@ func (r *Router) BlockingCounters() (blockedCycles, granted int64) {
 // It is a no-op on an active router; on a waking router it keeps the
 // earlier completion time. cause is reported to the network's power
 // tracer, if one is installed, on the actual Asleep→Waking transition.
+//
+//catnap:hotpath
+//catnap:worker-safe reached from the parallel power/deliver phases; the tracer must accept worker-goroutine calls
 func (r *Router) wake(now int64, delay int, cause WakeCause) {
 	switch r.state {
 	case PowerActive:
@@ -287,6 +292,9 @@ func (r *Router) wake(now int64, delay int, cause WakeCause) {
 // sleep gates the router at cycle now after idle continuously-empty
 // cycles. The caller has verified the sleep preconditions (empty buffers,
 // no pinned arrivals, policy approval).
+//
+//catnap:hotpath
+//catnap:worker-safe reached from the parallel power phase; the tracer must accept worker-goroutine calls
 func (r *Router) sleep(now, idle int64) {
 	r.state = PowerAsleep
 	r.sub.onSleep(r.node)
@@ -302,6 +310,8 @@ func (r *Router) sleep(now, idle int64) {
 // representations are reset (emptySince for the reference scan path,
 // lastBusy for the incremental path) so a mode switch stays consistent,
 // and the next sleep-eligibility check is scheduled.
+//
+//catnap:hotpath
 func (r *Router) completeWake(now int64) {
 	r.state = PowerActive
 	r.sub.onWakeDone(r.node)
@@ -313,6 +323,8 @@ func (r *Router) completeWake(now int64) {
 // noteBusyEnd records that the router was busy at cycle busyCycle (the
 // lazy lastBusy update) and schedules the sleep-eligibility check that
 // this busy period's end makes due.
+//
+//catnap:hotpath
 func (r *Router) noteBusyEnd(now, busyCycle int64) {
 	if busyCycle > r.lastBusy {
 		r.lastBusy = busyCycle
@@ -325,6 +337,8 @@ func (r *Router) noteBusyEnd(now, busyCycle int64) {
 // look-ahead wake-up: a head flit's pre-computed route identifies the
 // downstream router, and if that router is gated a wake-up signal is sent
 // immediately, hiding WakeupHidden cycles of the wake-up delay.
+//
+//catnap:hotpath
 func (r *Router) deliver(now int64, p, v int, f flit) {
 	cfg := r.sub.net.cfg
 	f.eligibleAt = now + int64(cfg.RouterDelay)
@@ -359,6 +373,9 @@ func (r *Router) deliver(now int64, p, v int, f flit) {
 // front packet has a route but no downstream VC tries to acquire a free
 // downstream VC from the class's eligible set. It also latches the
 // look-ahead route of packets newly at the front of a FIFO.
+//
+//catnap:hotpath
+//catnap:shard-phase touches only this router's input VCs and output-VC ownership
 func (r *Router) vcAllocate() {
 	nports := len(r.in)
 	if r.slotMask && !r.sub.refScan {
@@ -419,6 +436,9 @@ func (r *Router) vcAllocate() {
 
 // allocateOutVC tries to grant vc's front packet a downstream virtual
 // channel on its output port.
+//
+//catnap:hotpath
+//catnap:shard-phase
 func (r *Router) allocateOutVC(vc *vcState) {
 	op := &r.out[vc.outPort]
 	mask := r.sub.net.cfg.vcMask(vc.curPkt.Class)
@@ -471,6 +491,9 @@ func dimBit(p int) uint8 {
 // output port, one flit is granted per cycle (round-robin over input VCs),
 // subject to one read per input port, downstream credit availability, and
 // the downstream router being awake. It returns the number of flits moved.
+//
+//catnap:hotpath
+//catnap:shard-phase cross-router effects route through r.cq while the subnet stages
 func (r *Router) switchAllocate(now int64) int {
 	moved := 0
 	for p := range r.grantedInput {
@@ -558,6 +581,9 @@ func (r *Router) switchAllocate(now int64) int {
 // bit in the snapshot and are filtered by the same live vc.empty() check
 // the scan performs; bits are never set during allocation, so no
 // non-empty slot can be missed. grantedInput was reset by the caller.
+//
+//catnap:hotpath
+//catnap:shard-phase
 func (r *Router) switchAllocateFast(now int64) int {
 	moved := 0
 	var cq *commitQueue
@@ -649,6 +675,9 @@ func (r *Router) switchAllocateFast(now int64) int {
 // downstream pin, subnet aggregates, activity counters — is buffered in
 // it instead, to be replayed in order by applyCommits; all router-local
 // state (buffers, credits, wormhole allocation) is still updated inline.
+//
+//catnap:hotpath
+//catnap:shard-phase the `if cq != nil` guards below are exactly the staging discipline the linter enforces
 func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPort, cq *commitQueue) {
 	cfg := r.sub.net.cfg
 	f := vc.pop()
@@ -762,6 +791,9 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 // accrues state-residency counts for the power model. The incremental
 // path (Subnet.powerPhase) reproduces these decisions bit-identically
 // without visiting steady-state routers.
+//
+//catnap:hotpath
+//catnap:worker-safe the power phase runs on worker goroutines under SetParallel; policy calls land there
 func (r *Router) powerUpdate(now int64) {
 	cfg := r.sub.net.cfg
 	pol := r.sub.net.gating
@@ -808,6 +840,9 @@ func (r *Router) powerUpdate(now int64) {
 // decision is ever missed. idle below TIdleDetect at a live check can only
 // happen after defensive rescheduling; it, too, leaves the next check in
 // place.
+//
+//catnap:hotpath
+//catnap:worker-safe see powerUpdate: AllowSleep can be called from worker goroutines
 func (r *Router) powerCheck(now int64, blocked bool) {
 	if r.totalOcc > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
 		if blocked {

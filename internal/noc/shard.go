@@ -57,6 +57,8 @@ type commitQueue struct {
 }
 
 // reset truncates every staged list for reuse.
+//
+//catnap:hotpath once per (subnet, shard) per sharded cycle
 func (cq *commitQueue) reset() {
 	cq.arrivals = cq.arrivals[:0]
 	cq.credits = cq.credits[:0]
@@ -109,6 +111,8 @@ func newShardPlan(rows, cols, count int) *shardPlan {
 
 // hasWork reports whether any of band k's routers is in the occupied
 // bitmap occ.
+//
+//catnap:hotpath
 func (p *shardPlan) hasWork(occ []uint64, k int) bool {
 	for i, m := range p.masks[k] {
 		if occ[i]&m != 0 {
@@ -180,6 +184,8 @@ func (n *Network) Shards() int { return n.shardCount }
 // the caller, claiming indices from a shared counter. Goroutines are
 // transient (spawned per call) so an idle network parks nothing; with a
 // single usable worker the loop runs inline with zero spawns.
+//
+//catnap:worker-pool the audited transient pool for the sharded router/commit phases
 func runTasks(n int, fn func(int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -222,6 +228,8 @@ func runTasks(n int, fn func(int)) {
 // order and run the power phases. Commits must be applied before the
 // power phase — a traversal that empties a router can make its sleep
 // check due this very cycle when TIdleDetect is small.
+//
+//catnap:hotpath the sharded per-cycle router+power stage
 func (n *Network) stepSharded(now int64) {
 	plan := n.plan
 	tasks := n.shardTasks[:0]
@@ -235,6 +243,7 @@ func (n *Network) stepSharded(now int64) {
 		}
 	}
 	n.shardTasks = tasks
+	//lint:ignore hotpathalloc sharded dispatch allocates one closure per cycle; the 0 B/cycle guard binds the default unsharded path
 	runTasks(len(tasks), func(i int) {
 		t := tasks[i]
 		n.subnets[t.sub].routerPhaseShard(now, int(t.shard))
@@ -243,6 +252,7 @@ func (n *Network) stepSharded(now int64) {
 		s.staging = false
 	}
 	if n.parallel {
+		//lint:ignore hotpathalloc sharded+parallel commit fan-out allocates one closure per cycle; see the dispatch note above
 		runTasks(len(n.subnets), func(i int) {
 			s := n.subnets[i]
 			s.applyCommits(now)

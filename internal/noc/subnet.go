@@ -159,21 +159,25 @@ func (s *Subnet) Events() *PowerEvents { return s.events }
 
 func (s *Subnet) slot(cycle int64) int { return int(cycle % int64(s.wheelSize)) }
 
+//catnap:hotpath wheel append, amortised zero-alloc once warmed
 func (s *Subnet) stageArrival(at int64, node, port, vc int, f flit) {
 	i := s.slot(at)
 	s.arrivals[i] = append(s.arrivals[i], arrival{node: node, port: port, vc: vc, f: f})
 }
 
+//catnap:hotpath
 func (s *Subnet) stageCredit(at int64, node, port, vc int) {
 	i := s.slot(at)
 	s.credits[i] = append(s.credits[i], credit{node: node, port: port, vc: vc})
 }
 
+//catnap:hotpath
 func (s *Subnet) stageNICredit(at int64, node, vc int) {
 	i := s.slot(at)
 	s.niCredits[i] = append(s.niCredits[i], niCredit{node: node, vc: vc})
 }
 
+//catnap:hotpath
 func (s *Subnet) stageEject(at int64, node int, f flit) {
 	i := s.slot(at)
 	s.ejections[i] = append(s.ejections[i], ejection{node: node, f: f})
@@ -182,6 +186,8 @@ func (s *Subnet) stageEject(at int64, node int, f flit) {
 // deliverPhase drains every event staged for cycle now: credits first (so
 // freed slots are usable this cycle), then flit arrivals, then ejections
 // into the NIs.
+//
+//catnap:hotpath
 func (s *Subnet) deliverPhase(now int64) {
 	i := s.slot(now)
 
@@ -207,6 +213,8 @@ func (s *Subnet) deliverPhase(now int64) {
 }
 
 // routerPhase runs allocation and traversal on every active router.
+//
+//catnap:hotpath
 func (s *Subnet) routerPhase(now int64) {
 	if s.refScan {
 		s.routerPhaseScan(now)
@@ -236,6 +244,9 @@ func (s *Subnet) routerPhase(now int64) {
 // Visit order within the band is ascending node id, identical to the
 // sequential phase's order over those nodes. It also records how many
 // routers the band processed, the telemetry imbalance counter.
+//
+//catnap:hotpath
+//catnap:shard-phase runs concurrently with sibling bands; cross-router effects must stage via r.cq
 func (s *Subnet) routerPhaseShard(now int64, shard int) {
 	mask := s.net.plan.masks[shard]
 	busy := int32(0)
@@ -263,6 +274,9 @@ func (s *Subnet) routerPhaseShard(now int64, shard int) {
 // aggregate moves — the sequential router phase would have performed,
 // which is what makes sharded stepping bit-identical. Runs after the
 // barrier, single-threaded per subnet, before the power phase.
+//
+//catnap:hotpath
+//catnap:commit-apply the designated drain point for staged shard effects
 func (s *Subnet) applyCommits(now int64) {
 	cfg := s.net.cfg
 	arriveAt := now + int64(cfg.LinkDelay)
@@ -315,6 +329,8 @@ func (s *Subnet) ShardBusy() []int32 { return s.shardBusy }
 
 // routerPhaseScan is the retained reference implementation: visit every
 // router, skipping gated and empty ones by rescanning their ports.
+//
+//catnap:hotpath
 func (s *Subnet) routerPhaseScan(now int64) {
 	for n := range s.routers {
 		r := &s.routers[n]
@@ -334,6 +350,9 @@ func (s *Subnet) routerPhaseScan(now int64) {
 // (when the gating policy's decision epoch moved) asleep or sleep-blocked
 // routers — while accruing state residency from the per-state counts in
 // O(1). Event order matches the reference scan: ascending node id.
+//
+//catnap:hotpath
+//catnap:worker-safe runs on worker goroutines under SetParallel/SetShards; WantWake calls land there
 func (s *Subnet) powerPhase(now int64) {
 	if s.refScan {
 		s.powerPhaseScan(now)
@@ -410,6 +429,8 @@ func (s *Subnet) powerPhase(now int64) {
 
 // powerPhaseScan is the retained reference implementation: every router,
 // every cycle.
+//
+//catnap:hotpath
 func (s *Subnet) powerPhaseScan(now int64) {
 	for n := range s.routers {
 		s.routers[n].powerUpdate(now)
@@ -495,6 +516,8 @@ func (s *Subnet) MaxBFMScan() int {
 // --- incremental aggregate maintenance -------------------------------
 
 // noteBFM moves one router between max-port-occupancy histogram buckets.
+//
+//catnap:hotpath
 func (s *Subnet) noteBFM(from, to int) {
 	s.bfmHist[from]--
 	s.bfmHist[to]++
@@ -505,12 +528,16 @@ func (s *Subnet) noteBFM(from, to int) {
 
 // setOccupied marks router n as holding buffered flits. Gaining a flit
 // also cancels any sleep-blocked status: the router is busy again.
+//
+//catnap:hotpath
 func (s *Subnet) setOccupied(n int) {
 	s.occBits[n>>6] |= 1 << (uint(n) & 63)
 	s.blockedBits[n>>6] &^= 1 << (uint(n) & 63)
 }
 
 // clearOccupied marks router n as empty.
+//
+//catnap:hotpath
 func (s *Subnet) clearOccupied(n int) {
 	s.occBits[n>>6] &^= 1 << (uint(n) & 63)
 }
@@ -524,6 +551,8 @@ func (s *Subnet) clearBlocked(n int) { s.blockedBits[n>>6] &^= 1 << (uint(n) & 6
 // onSleep records an Active→Asleep transition. The fresh sleeper is owed
 // one WantWake poll on the next power phase even if the policy epoch does
 // not move (a generic epoched policy may want it straight back up).
+//
+//catnap:hotpath
 func (s *Subnet) onSleep(n int) {
 	s.stateCount[PowerActive]--
 	s.stateCount[PowerAsleep]++
@@ -533,6 +562,8 @@ func (s *Subnet) onSleep(n int) {
 }
 
 // onWakeStart records an Asleep→Waking transition.
+//
+//catnap:hotpath
 func (s *Subnet) onWakeStart(n int) {
 	s.stateCount[PowerAsleep]--
 	s.stateCount[PowerWaking]++
@@ -542,6 +573,8 @@ func (s *Subnet) onWakeStart(n int) {
 }
 
 // onWakeDone records a Waking→Active transition.
+//
+//catnap:hotpath
 func (s *Subnet) onWakeDone(n int) {
 	s.stateCount[PowerWaking]--
 	s.stateCount[PowerActive]++
@@ -556,6 +589,8 @@ func (s *Subnet) slotCheck(cycle int64) int { return int(cycle % int64(len(s.che
 // re-arm) is checked immediately. A single checkAt overwrite invalidates
 // any previously staged entry. No-op on the reference path or without a
 // gating policy; SetGatingPolicy re-arms every router when one appears.
+//
+//catnap:hotpath
 func (s *Subnet) scheduleCheck(r *Router, now int64) {
 	if s.refScan || s.net.gating == nil {
 		return

@@ -22,6 +22,11 @@ import (
 // Callers must run stop on every exit path. os.Exit skips deferred
 // calls, so commands that exit with a code must stop the profiles
 // first — an unstopped CPU profile is a truncated, unreadable file.
+//
+// stop is idempotent: commands routinely pair an explicit stop on the
+// os.Exit path with a defer on the normal return path, and the second
+// call must not clobber the already-written profiles. Only the first
+// call does work (and reports its error); later calls return nil.
 func Start(cpuFile, memFile string) (stop func() error, err error) {
 	var cpuOut *os.File
 	if cpuFile != "" {
@@ -34,7 +39,12 @@ func Start(cpuFile, memFile string) (stop func() error, err error) {
 			return nil, fmt.Errorf("start CPU profile: %w", err)
 		}
 	}
+	stopped := false
 	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
 		if cpuOut != nil {
 			pprof.StopCPUProfile()
 			if err := cpuOut.Close(); err != nil {

@@ -1,0 +1,111 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start with no files: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("no-op stop: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second no-op stop: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+// TestStopIdempotent covers the explicit-stop-plus-defer pattern the
+// commands use around os.Exit: the second stop must succeed and must
+// not rewrite or truncate the profiles written by the first.
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	memBefore, err := os.ReadFile(mem)
+	if err != nil {
+		t.Fatalf("reading heap profile: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+	memAfter, err := os.ReadFile(mem)
+	if err != nil {
+		t.Fatalf("re-reading heap profile: %v", err)
+	}
+	if string(memBefore) != string(memAfter) {
+		t.Error("second stop rewrote the heap profile")
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "missing", "cpu.prof"), "")
+	if err == nil {
+		stop()
+		t.Fatal("Start succeeded with an uncreatable CPU profile path")
+	}
+	if stop != nil {
+		t.Error("Start returned a non-nil stop alongside an error")
+	}
+}
+
+// TestStopBadMemPath checks the deferred half of the contract: the heap
+// profile path is only touched at stop time, so a bad path surfaces
+// there, and the CPU profile must still be stopped and closed cleanly.
+func TestStopBadMemPath(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	stop, err := Start(cpu, filepath.Join(dir, "missing", "mem.prof"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with an uncreatable heap profile path")
+	}
+	st, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("CPU profile not written: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("CPU profile is empty after stop")
+	}
+	// Idempotency holds on the error path too: the failure was
+	// reported once; a paired deferred stop stays quiet.
+	if err := stop(); err != nil {
+		t.Errorf("second stop after error: %v", err)
+	}
+}
