@@ -33,7 +33,7 @@ lint:
 # assertion; the rest catch staging/commit races against real traffic.
 check-race:
 	$(GO) test -race -count=1 -timeout 60m \
-		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential' \
+		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential|IdleSkip' \
 		./internal/noc ./internal/congestion
 
 build:

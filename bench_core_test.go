@@ -9,8 +9,9 @@ package catnap
 // matrix interleaved min-of-N, writes BENCH_core.json, and enforces the
 // regression bounds — the sleep-dominated low-load scenario must step at
 // least 3x faster than the reference scan, the idle-gated steady state
-// must allocate exactly 0 bytes/cycle, and the sharded saturation
-// scenario must beat sequential stepping 2x when enough cores exist.
+// must allocate exactly 0 bytes/cycle, the sharded saturation scenario
+// must beat sequential stepping 2x when enough cores exist, and idle
+// fast-forward must beat stepping the same idle span 100x.
 //
 // All measurements cover the steady state only: simulator construction
 // and warmup run outside the timed (and allocation-counted) window, so
@@ -45,6 +46,11 @@ type coreScenario struct {
 	// (pre-optimization baseline), true = sequential incremental
 	// stepping (the baseline a sharded fast arm must beat).
 	refSeq bool
+	// skip arms idle fast-forward on the fast arm. Every other scenario
+	// pins NoIdleSkip in BOTH arms: they measure per-cycle stepping cost,
+	// and letting the fast arm jump over its idle cycles (the default
+	// execution mode) would quietly turn them into skip benchmarks.
+	skip bool
 }
 
 const (
@@ -60,6 +66,12 @@ var coreScenarios = []coreScenario{
 	{name: "ungated-1NT", design: "1NT-512b", sched: traffic.Constant(0.10)},
 	{name: "saturation-gated-parallel", design: "4NT-128b-PG", sched: traffic.Constant(0.45),
 		shards: 8, refSeq: true},
+	// idle-skip measures the event-driven fast-forward win itself: the
+	// fully idle gated mesh with IdleSkip armed versus sequential
+	// incremental stepping of the same idle cycles (the O(active) path
+	// the fast-forward replaces; the reference scan would overstate it).
+	{name: "idle-skip", design: "4NT-128b-PG", sched: traffic.Constant(0),
+		refSeq: true, skip: true},
 }
 
 // buildCoreSim constructs one arm's simulator. Both arms of a scenario
@@ -67,6 +79,7 @@ var coreScenarios = []coreScenario{
 // sequence and any fast/ref divergence is a determinism bug, not noise.
 func buildCoreSim(sc coreScenario, ref bool) *Simulator {
 	cfg := mustDesign(sc.design)
+	cfg.NoIdleSkip = ref || !sc.skip
 	if !ref && sc.shards > 0 {
 		cfg.ShardedRouters = true
 		cfg.ShardCount = sc.shards
@@ -182,7 +195,7 @@ func TestCoreBenchGuard(t *testing.T) {
 	for r := 0; r < reps; r++ {
 		for i, a := range arms {
 			run := runCoreScenario(a.sc, a.ref)
-			if a.sc.name != "idle-gated" && run.res.AcceptedThroughput <= 0 {
+			if a.sc.name != "idle-gated" && a.sc.name != "idle-skip" && run.res.AcceptedThroughput <= 0 {
 				t.Fatalf("%s produced no traffic", a.sc.name)
 			}
 			if run.elapsed < bestNs[i] {
@@ -256,6 +269,10 @@ func TestCoreBenchGuard(t *testing.T) {
 	}
 	if by := report.Scenarios["idle-gated"].FastBytesPerCycle; by != 0 {
 		t.Errorf("idle-gated steady state allocated %.1f bytes/cycle, want exactly 0", by)
+	}
+	if row := report.Scenarios["idle-skip"]; row.Speedup < 100 {
+		t.Errorf("idle-skip speedup %.2fx below the 100x guard (fast %.1f ns/cycle, sequential %.1f ns/cycle)",
+			row.Speedup, row.FastNsPerCycle, row.RefNsPerCycle)
 	}
 	if par := report.Scenarios["saturation-gated-parallel"]; runtime.GOMAXPROCS(0) >= 8 {
 		if par.Speedup < 2.0 {

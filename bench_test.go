@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/catnap-noc/catnap/internal/power"
 	"github.com/catnap-noc/catnap/internal/traffic"
 )
 
@@ -43,8 +44,11 @@ func BenchmarkFig2(b *testing.B) {
 // model.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := RunTable2()
-		for _, r := range rows {
+		res, err := RunExperiment(context.Background(), "table2", ExperimentOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Data.([]power.Table2Row) {
 			if r.WidthBits == 128 && r.VoltV == 0.625 {
 				b.ReportMetric(r.FreqGHz, "GHz_128b_0.625V")
 			}
@@ -75,7 +79,11 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates Figure 7's analytic power bars.
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := RunFig7()
+		res, err := RunExperiment(context.Background(), "fig7", ExperimentOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := res.Data.([]Fig7Row)
 		b.ReportMetric(rows[0].Breakdown.Total, "single_0.750V_W")
 		b.ReportMetric(rows[1].Breakdown.Total, "multi_0.750V_W")
 		b.ReportMetric(rows[2].Breakdown.Total, "multi_0.625V_W")

@@ -140,6 +140,14 @@ type Config struct {
 	// ShardCount is the row-band count per subnet when ShardedRouters is
 	// set; 0 means GOMAXPROCS.
 	ShardCount int
+	// NoIdleSkip disables event-driven idle fast-forward (on by default):
+	// when the network is fully quiescent, Simulator.Run jumps simulated
+	// time directly to the next staged event or traffic arrival instead
+	// of stepping empty cycles one by one. Results are bit-identical
+	// either way (the differential suites assert it); disable it only to
+	// benchmark the per-cycle idle path or to debug with every cycle
+	// visible (-no-skip in the CLIs).
+	NoIdleSkip bool
 
 	// Seed drives all randomness (policies only; traffic generators and
 	// system models take their own seeds).

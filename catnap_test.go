@@ -1,8 +1,10 @@
 package catnap
 
 import (
+	"context"
 	"testing"
 
+	"github.com/catnap-noc/catnap/internal/power"
 	"github.com/catnap-noc/catnap/internal/traffic"
 )
 
@@ -132,7 +134,11 @@ func TestFig12SubnetsOpenDuringBurst(t *testing.T) {
 }
 
 func TestFig7Runner(t *testing.T) {
-	rows := RunFig7()
+	res, err := RunExperiment(context.Background(), "fig7", ExperimentOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Data.([]Fig7Row)
 	if len(rows) != 3 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -267,7 +273,11 @@ func TestTorusDesigns(t *testing.T) {
 }
 
 func TestTable2Runner(t *testing.T) {
-	rows := RunTable2()
+	res, err := RunExperiment(context.Background(), "table2", ExperimentOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Data.([]power.Table2Row)
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows", len(rows))
 	}

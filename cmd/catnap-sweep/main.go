@@ -56,6 +56,7 @@ var (
 	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, point lifecycle) to this JSONL file")
 	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	simWorkers  = flag.Int("sim-workers", 0, "router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS); results are bit-identical at any value")
+	noSkip      = flag.Bool("no-skip", false, "disable event-driven idle fast-forward (bit-identical, only slower on idle stretches)")
 	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
 	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -134,6 +135,7 @@ func sweep() error {
 						cfg.ShardCount = *simWorkers
 					}
 				}
+				cfg.NoIdleSkip = *noSkip
 				sim, err := catnap.New(cfg)
 				if err != nil {
 					return catnap.Results{}, err

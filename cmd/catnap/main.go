@@ -61,6 +61,7 @@ var (
 	pattern     = flag.String("pattern", "uniform-random", "traffic pattern for fig11")
 	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	simWorkers  = flag.Int("sim-workers", 0, "router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS); results are bit-identical at any value")
+	noSkip      = flag.Bool("no-skip", false, "disable event-driven idle fast-forward (bit-identical, only slower on idle stretches)")
 	timeout     = flag.Duration("timeout", 0, "per-point wall-clock limit (0 = none)")
 	metricsFile = flag.String("metrics", "", "write telemetry metrics to this file (JSONL; CSV if it ends in .csv)")
 	eventsFile  = flag.String("events", "", "stream telemetry events (sleep/wake, congestion, sweep lifecycle) to this JSONL file")
@@ -157,6 +158,7 @@ func run(ctx context.Context, name string) error {
 		Loads:      loads(),
 		Pattern:    *pattern,
 		Window:     *window,
+		NoIdleSkip: *noSkip,
 		SimWorkers: *simWorkers,
 		Sweep:      catnap.SweepOptions{Jobs: *jobs, Timeout: *timeout, Progress: prog},
 		Telemetry:  rec,

@@ -1,6 +1,7 @@
 package catnap_test
 
 import (
+	"context"
 	"fmt"
 
 	catnap "github.com/catnap-noc/catnap"
@@ -18,11 +19,16 @@ func ExampleDesign() {
 	// 1NT-512b: 1 subnet x 512 bits at 0.750 V
 }
 
-// ExampleRunTable2 reproduces the paper's Table 2 from the crossbar
-// critical-path model.
-func ExampleRunTable2() {
-	for _, r := range catnap.RunTable2() {
-		fmt.Printf("%-10s %3db %.1fGHz %.3fV\n", r.Design, r.WidthBits, r.FreqGHz, r.VoltV)
+// ExampleRunExperiment reproduces the paper's Table 2 through the
+// experiment registry, the sole entry point for the canned
+// tables/figures.
+func ExampleRunExperiment() {
+	res, err := catnap.RunExperiment(context.Background(), "table2", catnap.ExperimentOpts{})
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%-10s %3sb %sGHz %sV\n", row[0], row[1], row[2], row[3])
 	}
 	// Output:
 	// Single-NoC 512b 2.0GHz 0.750V

@@ -57,6 +57,12 @@ type ExperimentOpts struct {
 	// Window is the time-series sampling window (fig12) and the
 	// telemetry series window, in cycles; 0 means the paper's 50.
 	Window int64
+	// NoIdleSkip disables event-driven idle fast-forward in every
+	// simulation the experiment builds (Config.NoIdleSkip). Results are
+	// bit-identical either way; set it to benchmark the per-cycle idle
+	// path or to debug the quiescence oracle. cmd/catnap and
+	// cmd/catnap-sweep expose it as -no-skip.
+	NoIdleSkip bool
 	// SimWorkers shards each simulation's router phase into this many
 	// row-band shards stepped concurrently (Config.ShardedRouters /
 	// ShardCount). 0 leaves sharding off; -1 selects GOMAXPROCS shards.
@@ -231,7 +237,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"table2", "router width -> frequency/voltage pairs", "table"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows := RunTable2()
+			rows := runTable2()
 			res := &ExperimentResult{
 				Name:   "table2",
 				Header: []string{"design", "router width (bits)", "frequency (GHz)", "voltage (V)"},
@@ -264,7 +270,7 @@ func init() {
 
 	registerExperiment(ExperimentInfo{"fig7", "analytic network power breakdown at near saturation", "figure"},
 		func(ctx context.Context, opts ExperimentOptions) (*ExperimentResult, error) {
-			rows := RunFig7()
+			rows := runFig7()
 			res := &ExperimentResult{
 				Name:   "fig7",
 				Header: []string{"config", "NI", "link", "clock", "control", "crossbar", "buffer", "static", "total (W)"},

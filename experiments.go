@@ -66,15 +66,19 @@ func newSim(design string, o ExperimentOpts) (*Simulator, error) {
 }
 
 // tuneCfg applies the simulator-level options to one design config:
-// SimWorkers maps onto Config.ShardedRouters/ShardCount. Every runner
-// routes its configs through here so a single -sim-workers flag shards
-// all simulators an experiment builds.
+// SimWorkers maps onto Config.ShardedRouters/ShardCount and NoIdleSkip
+// onto Config.NoIdleSkip. Every runner routes its configs through here
+// so a single -sim-workers or -no-skip flag reaches all simulators an
+// experiment builds.
 func (o ExperimentOpts) tuneCfg(cfg Config) Config {
 	if o.SimWorkers != 0 {
 		cfg.ShardedRouters = true
 		if o.SimWorkers > 0 {
 			cfg.ShardCount = o.SimWorkers
 		}
+	}
+	if o.NoIdleSkip {
+		cfg.NoIdleSkip = true
 	}
 	return cfg
 }
@@ -195,10 +199,9 @@ func runFig2(o ExperimentOpts) ([]Fig2Row, error) {
 // ---------------------------------------------------------------------------
 // Table 2 — router frequency/voltage pairs.
 
-// RunTable2 reproduces Table 2 from the crossbar critical-path model.
-//
-// Deprecated: use RunExperiment(ctx, "table2", opts).
-func RunTable2() []power.Table2Row {
+// runTable2 reproduces Table 2 from the crossbar critical-path model.
+// The registry's "table2" entry is the sole public route to it.
+func runTable2() []power.Table2Row {
 	p := power.DefaultParams()
 	return p.Table2()
 }
@@ -272,11 +275,10 @@ type Fig7Row struct {
 	Breakdown power.Breakdown
 }
 
-// RunFig7 computes the three Figure 7 bars at per-port load factor 0.5 and
-// bit switching factor 0.15.
-//
-// Deprecated: use RunExperiment(ctx, "fig7", opts).
-func RunFig7() []Fig7Row {
+// runFig7 computes the three Figure 7 bars at per-port load factor 0.5 and
+// bit switching factor 0.15. The registry's "fig7" entry is the sole
+// public route to it.
+func runFig7() []Fig7Row {
 	mk := func(label, design string, volt float64) Fig7Row {
 		cfg := mustDesign(design)
 		cfg.VoltageV = volt

@@ -11,9 +11,9 @@ import (
 //	//catnap:<name> [free-form note]
 //
 // e.g. //catnap:hotpath, //catnap:shard-phase, //catnap:commit-apply,
-// //catnap:worker-safe, //catnap:worker-pool. The note is ignored by the
-// analyzers but encouraged for humans. Annotations compose: one function
-// may carry several, one per line.
+// //catnap:worker-safe, //catnap:worker-pool, //catnap:quiescent-only.
+// The note is ignored by the analyzers but encouraged for humans.
+// Annotations compose: one function may carry several, one per line.
 const annotationPrefix = "//catnap:"
 
 // HasAnnotation reports whether fd's doc comment carries

@@ -23,6 +23,13 @@
 // exempt, as are the //catnap:commit-apply functions, which are the
 // designated post-barrier appliers and run single-threaded.
 //
+// Independently of the commit-queue state, a shard-phase function must
+// never call a //catnap:quiescent-only function (the idle fast-forward
+// entry points: the quiescence oracle, the event lookahead, the skip
+// itself). Those read cross-subnet aggregates with no staging and assume
+// the network sits between cycles, so they are flagged even on the
+// sequential (cq == nil) path.
+//
 // The analysis is per-function and branch-sensitive only with respect to
 // nil tests of *commitQueue-typed variables; it does not chase calls. It
 // polices internal/noc, where the sharded phase lives.
@@ -197,9 +204,17 @@ func (c *checker) checkExpr(e ast.Expr, cqNil bool) {
 	})
 }
 
-// checkCall flags pointer-receiver method calls on foreign simulator
-// state outside the nil-queue (sequential) path.
+// checkCall flags calls to quiescent-only functions (on any path), and
+// pointer-receiver method calls on foreign simulator state outside the
+// nil-queue (sequential) path.
 func (c *checker) checkCall(call *ast.CallExpr, cqNil bool) {
+	if fn := calleeFunc(c.pass, call); fn != nil {
+		if fd := c.pass.FuncDeclOf(fn); fd != nil && analysis.HasAnnotation(fd, "quiescent-only") {
+			c.pass.Reportf(call.Pos(),
+				"call to %s during the sharded router phase: quiescent-only functions assume the network sits between cycles", fn.Name())
+			return
+		}
+	}
 	if cqNil {
 		return
 	}
@@ -231,6 +246,25 @@ func (c *checker) checkCall(call *ast.CallExpr, cqNil bool) {
 	}
 	c.pass.Reportf(call.Pos(),
 		"call to %s.%s during the sharded router phase mutates state outside this router: stage the effect in the commit queue", types.ExprString(sel.X), fn.Name())
+}
+
+// calleeFunc resolves a call's static callee: a package-level function,
+// or a method named through a selector. Interface and function-value
+// calls resolve to nil (no declaration to carry an annotation).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s := pass.TypesInfo.Selections[fun]; s != nil {
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }
 
 // foreignPath reports whether any step of expr's access path lands on

@@ -92,3 +92,27 @@ func (r *Router) readOnly() {}
 func (r *Router) unannotated() {
 	r.sub.buffered-- // not a shard-phase function: allowed
 }
+
+// TrySkipIdle mirrors the idle fast-forward entry points: callable only
+// between cycles, never from inside the concurrent router phase.
+//
+//catnap:quiescent-only
+func (n *Network) TrySkipIdle(target int64) int64 { return 0 }
+
+//catnap:quiescent-only
+func nextEventCycle(n *Network) int64 { return 0 }
+
+//catnap:shard-phase
+func (r *Router) callsQuiescentOnly(now int64) {
+	r.sub.net.TrySkipIdle(now) // want `call to TrySkipIdle during the sharded router phase: quiescent-only`
+	cq := r.cq
+	if cq == nil {
+		// The sequential path licenses direct writes, but not
+		// quiescent-only calls: the phase is still mid-cycle.
+		_ = nextEventCycle(r.sub.net) // want `call to nextEventCycle during the sharded router phase: quiescent-only`
+	}
+}
+
+func (r *Router) skipsBetweenCycles(now int64) {
+	r.sub.net.TrySkipIdle(now) // not shard-phase: allowed
+}

@@ -361,6 +361,90 @@ func (d *Detector) AfterCycle(now int64) {
 	}
 }
 
+// NextIdleEvent implements noc.IdleSkipper. The detector can summarize a
+// skipped span only when its per-cycle work is provably a no-op repeated:
+// every LCS, RCS, and hot-rate bit clear (a set status can transition on
+// any upcoming cycle via hysteresis or latching — no skip until it
+// clears), and, for the windowed metrics, no counter movement pending
+// against the previous window snapshots (a pending delta makes the next
+// window close compute nonzero rates, so the skip is bounded to end at
+// that close). The full-scan modes veto outright: they do real work every
+// cycle by design.
+func (d *Detector) NextIdleEvent(now int64) (int64, bool) {
+	if d.refScan || d.cfg.Threshold < 0 {
+		return 0, false
+	}
+	for s := 0; s < d.subnets; s++ {
+		for _, w := range d.lcsBits[s] {
+			if w != 0 {
+				return now, true
+			}
+		}
+		for _, w := range d.hotBits[s] {
+			if w != 0 {
+				return now, true
+			}
+		}
+	}
+	for _, on := range d.rcs {
+		if on {
+			return now, true
+		}
+	}
+	if (d.cfg.Metric == IR || d.cfg.Metric == Delay) && !d.windowDeltasZero() {
+		return d.winStart + d.cfg.WindowCycles, true
+	}
+	return noc.SkipHorizon, true
+}
+
+// windowDeltasZero reports whether the windowed metrics' source counters
+// sit exactly at the previous window snapshots, i.e. the next window close
+// would compute all-zero rates.
+func (d *Detector) windowDeltasZero() bool {
+	switch d.cfg.Metric {
+	case IR:
+		for n := 0; n < d.nodes; n++ {
+			if d.net.NI(n).PacketsInjected != d.prevInjected[n] {
+				return false
+			}
+		}
+	case Delay:
+		for s := 0; s < d.subnets; s++ {
+			for n := 0; n < d.nodes; n++ {
+				idx := s*d.nodes + n
+				blocked, granted := d.net.Subnet(s).Router(n).BlockingCounters()
+				if blocked != d.prevBlocked[idx] || granted != d.prevGranted[idx] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SkipIdle implements noc.IdleSkipper: it accounts for the AfterCycle
+// calls the span [from, to) would have made under the idle conditions
+// NextIdleEvent verified. Window closes inside the span saw all-zero
+// deltas (rates become 0, hot bits stay empty, snapshots stay put), so
+// only the window clock, the rates, and the unconditional RCS latch count
+// need patching; no LCS/RCS/epoch movement was possible.
+func (d *Detector) SkipIdle(from, to int64) {
+	if closes := (to - 1 - d.winStart) / d.cfg.WindowCycles; closes > 0 {
+		d.winStart += closes * d.cfg.WindowCycles
+		if d.cfg.Metric == IR || d.cfg.Metric == Delay {
+			for i := range d.rate {
+				d.rate[i] = 0
+			}
+		}
+	}
+	if d.cfg.UseRCS {
+		// Latches fire at every multiple of RCSPeriod regardless of state;
+		// count the multiples inside [from, to).
+		p := d.cfg.RCSPeriod
+		d.rcsE.Latches += (to+p-1)/p - (from+p-1)/p
+	}
+}
+
 // updateLCS applies one node's set/clear-with-hysteresis step given its
 // raw metric sample — the shared per-node body of both sampling paths.
 //

@@ -111,6 +111,7 @@ type diffFingerprint struct {
 	powEvents noc.PowerEvents
 	csc       int64
 	share     []float64
+	skipped   int64 // cycles fast-forwarded; not compared, asserted per-test
 }
 
 // diffProbe samples settled per-cycle state into a rolling hash, and (on
@@ -139,43 +140,71 @@ func (p *diffProbe) AfterCycle(now int64) {
 	*p.out = append(*p.out, h)
 
 	if p.check && now%97 == 0 {
-		for s := 0; s < p.net.Subnets(); s++ {
-			sub := p.net.Subnet(s)
-			a, w, z := sub.PowerStates()
-			as, ws, zs := sub.PowerStatesScan()
-			if a != as || w != ws || z != zs {
-				p.t.Fatalf("cycle %d subnet %d: PowerStates (%d,%d,%d) != scan (%d,%d,%d)", now, s, a, w, z, as, ws, zs)
-			}
-			if got, want := sub.BufferedFlits(), sub.BufferedFlitsScan(); got != want {
-				p.t.Fatalf("cycle %d subnet %d: BufferedFlits %d != scan %d", now, s, got, want)
-			}
-			if got, want := sub.MaxBFM(), sub.MaxBFMScan(); got != want {
-				p.t.Fatalf("cycle %d subnet %d: MaxBFM %d != scan %d", now, s, got, want)
-			}
-			for n := 0; n < p.net.Config().Nodes(); n++ {
-				r := sub.Router(n)
-				if r.TotalOccupancy() != r.TotalOccupancyScan() || r.MaxPortOccupancy() != r.MaxPortOccupancyScan() {
-					p.t.Fatalf("cycle %d subnet %d router %d: occupancy counters drifted from scan", now, s, n)
-				}
+		p.scanCheck(now)
+	}
+}
+
+// NextIdleEvent implements noc.IdleSkipper: the probe never bounds a
+// skip, because SkipIdle replays its per-cycle sampling exactly.
+func (p *diffProbe) NextIdleEvent(now int64) (int64, bool) { return noc.SkipHorizon, true }
+
+// SkipIdle replays AfterCycle for every skipped cycle. The sampled
+// aggregates are constant across a quiescent span, so the replay emits
+// the exact hash stream the stepped reference produces — which is what
+// lets the skip differentials compare per-cycle state, not just totals.
+func (p *diffProbe) SkipIdle(from, to int64) {
+	for c := from; c < to; c++ {
+		p.AfterCycle(c)
+	}
+}
+
+// scanCheck cross-checks every incremental aggregate against its O(nodes)
+// scan counterpart.
+func (p *diffProbe) scanCheck(now int64) {
+	for s := 0; s < p.net.Subnets(); s++ {
+		sub := p.net.Subnet(s)
+		a, w, z := sub.PowerStates()
+		as, ws, zs := sub.PowerStatesScan()
+		if a != as || w != ws || z != zs {
+			p.t.Fatalf("cycle %d subnet %d: PowerStates (%d,%d,%d) != scan (%d,%d,%d)", now, s, a, w, z, as, ws, zs)
+		}
+		if got, want := sub.BufferedFlits(), sub.BufferedFlitsScan(); got != want {
+			p.t.Fatalf("cycle %d subnet %d: BufferedFlits %d != scan %d", now, s, got, want)
+		}
+		if got, want := sub.MaxBFM(), sub.MaxBFMScan(); got != want {
+			p.t.Fatalf("cycle %d subnet %d: MaxBFM %d != scan %d", now, s, got, want)
+		}
+		for n := 0; n < p.net.Config().Nodes(); n++ {
+			r := sub.Router(n)
+			if r.TotalOccupancy() != r.TotalOccupancyScan() || r.MaxPortOccupancy() != r.MaxPortOccupancyScan() {
+				p.t.Fatalf("cycle %d subnet %d router %d: occupancy counters drifted from scan", now, s, n)
 			}
 		}
 	}
 }
 
 // diffOpts parameterizes one differential run. The flip lists toggle the
-// corresponding mode at those cycles mid-run: flipRef toggles the
-// reference scan, flipShards toggles sharding between `shards` and off,
-// flipParallel toggles ParallelSubnets.
+// corresponding mode at those cycles mid-run (each toggle re-applies the
+// whole mode through SetExecMode): flipRef toggles the reference scan,
+// flipShards toggles sharding between `shards` and off, flipParallel
+// toggles ParallelSubnets, flipSkip toggles idle fast-forward. drainAt
+// lists cycles at which the run calls Network.Drain with drainBudget as
+// its deadline — on a quiescent network the deadline then lands inside
+// what the skipping arm would fast-forward over.
 type diffOpts struct {
 	gating       string
 	parallel     bool
 	ref          bool
-	shards       int // router-phase shard count (0 = unsharded)
+	skip         bool // arm idle fast-forward and attempt it every cycle
+	shards       int  // router-phase shard count (0 = unsharded)
 	sched        traffic.Schedule
 	cycles       int
 	flipRef      []int
 	flipShards   []int
 	flipParallel []int
+	flipSkip     []int
+	drainAt      []int
+	drainBudget  int64
 }
 
 // diffRun executes the full stack for cycles and fingerprints it.
@@ -219,44 +248,78 @@ func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 	}
 
 	fp := diffFingerprint{}
-	noFlips := len(o.flipRef) == 0 && len(o.flipShards) == 0 && len(o.flipParallel) == 0
-	probe := &diffProbe{t: t, net: net, out: &fp.cycleHash, check: !o.ref && noFlips}
+	noFlips := len(o.flipRef) == 0 && len(o.flipShards) == 0 &&
+		len(o.flipParallel) == 0 && len(o.flipSkip) == 0
+	probe := &diffProbe{t: t, net: net, out: &fp.cycleHash, check: !o.ref && !o.skip && noFlips}
 	net.AddObserver(probe)
 
-	net.SetReferenceScan(o.ref)
-	if det != nil {
-		det.SetReferenceScan(o.ref)
+	mode := noc.ExecMode{Parallel: o.parallel, Shards: o.shards, ReferenceScan: o.ref, IdleSkip: o.skip}
+	apply := func() {
+		if err := net.SetExecMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			det.SetReferenceScan(mode.ReferenceScan)
+		}
 	}
-	net.SetParallel(o.parallel)
-	net.SetShards(o.shards)
+	apply()
 
 	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, o.sched, 99)
-	refMode, parMode, shardMode := o.ref, o.parallel, o.shards
 	flipRef := append([]int(nil), o.flipRef...)
 	flipShards := append([]int(nil), o.flipShards...)
 	flipParallel := append([]int(nil), o.flipParallel...)
-	for i := 0; i < o.cycles; i++ {
-		if len(flipRef) > 0 && i == flipRef[0] {
+	flipSkip := append([]int(nil), o.flipSkip...)
+	drainAt := append([]int(nil), o.drainAt...)
+	end := int64(o.cycles)
+	for net.Now() < end {
+		now := net.Now()
+		if len(flipRef) > 0 && int64(flipRef[0]) <= now {
 			flipRef = flipRef[1:]
-			refMode = !refMode
-			net.SetReferenceScan(refMode)
-			if det != nil {
-				det.SetReferenceScan(refMode)
-			}
+			mode.ReferenceScan = !mode.ReferenceScan
+			apply()
 		}
-		if len(flipShards) > 0 && i == flipShards[0] {
+		if len(flipShards) > 0 && int64(flipShards[0]) <= now {
 			flipShards = flipShards[1:]
-			if shardMode != 0 {
-				shardMode = 0
+			if mode.Shards != 0 {
+				mode.Shards = 0
 			} else {
-				shardMode = o.shards
+				mode.Shards = o.shards
 			}
-			net.SetShards(shardMode)
+			apply()
 		}
-		if len(flipParallel) > 0 && i == flipParallel[0] {
+		if len(flipParallel) > 0 && int64(flipParallel[0]) <= now {
 			flipParallel = flipParallel[1:]
-			parMode = !parMode
-			net.SetParallel(parMode)
+			mode.Parallel = !mode.Parallel
+			apply()
+		}
+		if len(flipSkip) > 0 && int64(flipSkip[0]) <= now {
+			flipSkip = flipSkip[1:]
+			mode.IdleSkip = !mode.IdleSkip
+			apply()
+		}
+		if len(drainAt) > 0 && int64(drainAt[0]) <= now {
+			drainAt = drainAt[1:]
+			net.Drain(o.drainBudget)
+			continue // re-read the clock: Drain steps the network itself
+		}
+		if mode.IdleSkip {
+			// Mirror Simulator.trySkip: bound the jump by the run deadline,
+			// the next pending mode flip or drain call, and the generator's
+			// next injection cycle, then let the network and its observers
+			// bound it further.
+			target := end
+			for _, f := range [][]int{flipRef, flipShards, flipParallel, flipSkip, drainAt} {
+				if len(f) > 0 && int64(f[0]) < target {
+					target = int64(f[0])
+				}
+			}
+			if at, ok := gen.NextArrival(now); ok && at < target {
+				target = at
+			}
+			if k := net.TrySkipIdle(target); k > 0 {
+				fp.skipped += k
+				continue
+			}
 		}
 		gen.Tick(net.Now())
 		net.Step()

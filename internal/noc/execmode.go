@@ -1,0 +1,70 @@
+package noc
+
+import "fmt"
+
+// ExecMode is the network's complete execution-mode configuration: every
+// knob that changes *how* a simulation executes without changing *what* it
+// computes. All combinations produce bit-identical results (the
+// differential suites assert it); the knobs trade constant factors,
+// parallelism, and allocation behavior.
+//
+// The zero value is the conservative reference-friendly default:
+// sequential, unsharded, incremental stepping, no packet recycling, no
+// idle fast-forward.
+type ExecMode struct {
+	// Parallel runs the router and power phases with one goroutine per
+	// subnet (see SetParallel for the concurrency contract).
+	Parallel bool
+	// Shards > 0 splits every subnet's router phase into that many
+	// row-band tasks with commit-queue staging (see SetShards); 0 keeps
+	// the phase single-threaded.
+	Shards int
+	// ReferenceScan selects the retained O(nodes) scan-based stepping
+	// path instead of the incremental O(active) one. It also disables
+	// idle fast-forward: the reference path is the baseline the skipping
+	// path is differenced against.
+	ReferenceScan bool
+	// PacketRecycling enables per-NI packet freelists; see
+	// SetPacketRecycling for the packet-lifetime caveat it imposes.
+	PacketRecycling bool
+	// IdleSkip arms event-driven idle fast-forward: when the network is
+	// fully quiescent, TrySkipIdle jumps simulated time directly to the
+	// next staged event instead of stepping empty cycles one by one.
+	IdleSkip bool
+}
+
+// Validate reports whether the mode is internally consistent.
+func (m ExecMode) Validate() error {
+	if m.Shards < 0 {
+		return fmt.Errorf("noc: ExecMode.Shards must be >= 0, got %d", m.Shards)
+	}
+	return nil
+}
+
+// SetExecMode applies a validated execution mode atomically. It is the
+// single entry point the deprecated per-knob setters (SetParallel,
+// SetShards, SetReferenceScan, SetPacketRecycling) now delegate to.
+// Mid-run flips are supported: idle-streak representations are converted
+// and sleep checks re-armed exactly as the individual setters did.
+func (n *Network) SetExecMode(m ExecMode) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	n.parallel = m.Parallel && len(n.subnets) > 1
+	n.recycle = m.PacketRecycling
+	n.idleSkip = m.IdleSkip
+	n.applyShards(m.Shards)
+	n.applyReferenceScan(m.ReferenceScan)
+	return nil
+}
+
+// ExecMode returns the currently applied execution mode.
+func (n *Network) ExecMode() ExecMode {
+	return ExecMode{
+		Parallel:        n.parallel,
+		Shards:          n.shardCount,
+		ReferenceScan:   n.refScan,
+		PacketRecycling: n.recycle,
+		IdleSkip:        n.idleSkip,
+	}
+}

@@ -57,6 +57,10 @@ type Network struct {
 	// sampling phases instead of the incremental O(active) ones; results
 	// are bit-identical either way (the differential tests assert it).
 	refScan bool
+	// idleSkip arms event-driven idle fast-forward (see skip.go): when
+	// the network is fully quiescent, TrySkipIdle jumps n.now directly to
+	// the next staged event instead of stepping empty cycles.
+	idleSkip bool
 	// epochFn caches the gating policy's EpochedPolicy method, if it
 	// implements one, so the power phase re-evaluates asleep and
 	// sleep-blocked routers only when the policy's answers can change.
@@ -138,7 +142,18 @@ func (n *Network) SetGatingPolicy(p GatingPolicy) {
 // differential tests and as the honest pre-optimization baseline in
 // benchmark comparisons. Switching mid-run is supported: the idle-streak
 // representation is converted and sleep checks are re-armed.
+//
+// Deprecated: configure via SetExecMode.
 func (n *Network) SetReferenceScan(on bool) {
+	m := n.ExecMode()
+	m.ReferenceScan = on
+	n.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
+}
+
+// applyReferenceScan is SetExecMode's reference-scan transition: a no-op
+// when the mode already matches, otherwise it converts the idle-streak
+// representation and re-arms sleep checks.
+func (n *Network) applyReferenceScan(on bool) {
 	if n.refScan == on {
 		return
 	}
@@ -236,7 +251,13 @@ func (n *Network) Now() int64 { return n.now }
 // read) a *Packet after its delivery callbacks return — every field,
 // including Payload, is reused. The Simulator enables it; its traffic
 // generators and system models never retain packets.
-func (n *Network) SetPacketRecycling(on bool) { n.recycle = on }
+//
+// Deprecated: configure via SetExecMode.
+func (n *Network) SetPacketRecycling(on bool) {
+	m := n.ExecMode()
+	m.PacketRecycling = on
+	n.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
+}
 
 // NewPacket creates a packet from src to dst with a unique ID and the
 // current cycle as its creation time, and enqueues it at src's NI source
@@ -289,7 +310,13 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 // TestShardedBuiltinPoliciesRace); custom implementations must be too.
 // When combined with SetShards, the per-subnet commit/power stage also
 // runs on the shared worker pool instead of one goroutine per subnet.
-func (n *Network) SetParallel(on bool) { n.parallel = on && len(n.subnets) > 1 }
+//
+// Deprecated: configure via SetExecMode.
+func (n *Network) SetParallel(on bool) {
+	m := n.ExecMode()
+	m.Parallel = on
+	n.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
+}
 
 // Step advances the network by one cycle.
 //

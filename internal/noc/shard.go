@@ -148,10 +148,21 @@ type shardTask struct {
 // invoked from worker goroutines rather than the caller's goroutine (see
 // SetParallel); the built-in policies are safe, custom implementations
 // must be race-free.
+//
+// Deprecated: configure via SetExecMode.
 func (n *Network) SetShards(k int) {
 	if k < 0 {
 		k = 0
 	}
+	m := n.ExecMode()
+	m.Shards = k
+	n.SetExecMode(m) //nolint:errcheck // k clamped non-negative, mode stays valid
+}
+
+// applyShards is SetExecMode's sharding transition: it (re)builds or
+// tears down the shard plan and per-subnet commit queues when the count
+// changes.
+func (n *Network) applyShards(k int) {
 	if k == n.shardCount {
 		return
 	}

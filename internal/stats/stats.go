@@ -164,6 +164,24 @@ func (s *Series) Add(now int64, v float64) {
 	s.acc += v
 }
 
+// AddSpan accumulates v once per cycle over the half-open span [from, to),
+// exactly as `for c := from; c < to; c++ { s.Add(c, v) }` would, but in
+// O(windows touched): idle fast-forward summarizes skipped spans with it.
+// The per-window bulk addition `acc += n*v` is exact (not merely close)
+// for the integer-valued v the idle telemetry samples consist of; spans
+// must respect the same non-decreasing clock as Add.
+func (s *Series) AddSpan(from, to int64, v float64) {
+	for from < to {
+		s.advance(from)
+		n := s.nextCut - from // cycles of the span inside the current window
+		if n > to-from {
+			n = to - from
+		}
+		s.acc += float64(n) * v
+		from += n
+	}
+}
+
 // Finish closes the window containing `now` and returns all points.
 func (s *Series) Finish(now int64) []Point {
 	s.advance(now + s.window)

@@ -228,6 +228,32 @@ func (c *Collector) AfterCycle(now int64) {
 	c.prevEj = ejected
 }
 
+// NextIdleEvent implements noc.IdleSkipper: the collector never bounds a
+// skip — every quantity it samples is constant over a quiescent span.
+func (c *Collector) NextIdleEvent(now int64) (int64, bool) {
+	return noc.SkipHorizon, true
+}
+
+// SkipIdle implements noc.IdleSkipper: it accounts for the AfterCycle
+// samples the skipped span [from, to) would have taken. Over a quiescent
+// span the power-state counts are the only nonzero samples (no packet
+// exists, so occupancy, queue, and delta samples are all zero), and a
+// zero sample is already exact under the series' lazy window close — the
+// next Add or Finish closes the crossed windows with the identical
+// accumulator — so only the power-state series need explicit AddSpan
+// patching, plus the sampled-cycle counter and clock.
+func (c *Collector) SkipIdle(from, to int64) {
+	c.last = to - 1
+	c.sampled = true
+	c.cCycles.Add(to - from)
+	for s := 0; s < len(c.active); s++ {
+		a, w, z := c.net.Subnet(s).PowerStates()
+		c.active[s].AddSpan(from, to, float64(a))
+		c.waking[s].AddSpan(from, to, float64(w))
+		c.asleep[s].AddSpan(from, to, float64(z))
+	}
+}
+
 // RouterSlept implements noc.PowerTracer.
 func (c *Collector) RouterSlept(now int64, subnet, node int, idle int64) {
 	c.cSleeps.Add(1)

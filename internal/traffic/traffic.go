@@ -101,12 +101,46 @@ func PatternByName(name string) (Pattern, error) {
 
 // Schedule gives the offered load (packets/node/cycle) at a cycle;
 // schedules express the constant loads of the sweep experiments and the
-// bursts of Figure 12.
-type Schedule func(cycle int64) float64
+// bursts of Figure 12. NextArrival is the event-driven lookahead the idle
+// fast-forward path uses: it must report the exact first cycle at or after
+// now with a positive load, without consuming any randomness, so skipping
+// straight to it is bit-identical to ticking through the zero-load span.
+type Schedule interface {
+	// Load returns the offered load at the given cycle.
+	Load(cycle int64) float64
+	// NextArrival returns the earliest cycle >= now at which Load is
+	// positive, and ok=false if the load is zero at every cycle >= now.
+	NextArrival(now int64) (at int64, ok bool)
+}
+
+// ScheduleFunc adapts a plain load function to the Schedule interface.
+// Its NextArrival is maximally conservative — an arrival every cycle — so
+// a functional schedule never enables idle fast-forward but always stays
+// correct.
+type ScheduleFunc func(cycle int64) float64
+
+// Load implements Schedule.
+func (f ScheduleFunc) Load(cycle int64) float64 { return f(cycle) }
+
+// NextArrival implements Schedule conservatively.
+func (f ScheduleFunc) NextArrival(now int64) (int64, bool) { return now, true }
+
+// constant is a fixed-load Schedule.
+type constant float64
 
 // Constant returns a schedule offering a fixed load.
-func Constant(load float64) Schedule {
-	return func(int64) float64 { return load }
+func Constant(load float64) Schedule { return constant(load) }
+
+// Load implements Schedule.
+func (c constant) Load(int64) float64 { return float64(c) }
+
+// NextArrival implements Schedule: every cycle when the load is positive,
+// never otherwise.
+func (c constant) NextArrival(now int64) (int64, bool) {
+	if c <= 0 {
+		return 0, false
+	}
+	return now, true
 }
 
 // Phase is one segment of a piecewise-constant schedule.
@@ -117,20 +151,49 @@ type Phase struct {
 	Load float64
 }
 
+// piecewise is a phase-stepped Schedule (ascending Until values).
+type piecewise struct {
+	phases []Phase
+}
+
 // Piecewise returns a schedule stepping through phases in order; after the
 // last phase's Until, the last phase's load persists.
-func Piecewise(phases ...Phase) Schedule {
-	return func(cycle int64) float64 {
-		for _, p := range phases {
-			if cycle < p.Until {
-				return p.Load
-			}
+func Piecewise(phases ...Phase) Schedule { return piecewise{phases: phases} }
+
+// Load implements Schedule.
+func (p piecewise) Load(cycle int64) float64 {
+	for _, ph := range p.phases {
+		if cycle < ph.Until {
+			return ph.Load
 		}
-		if len(phases) == 0 {
-			return 0
-		}
-		return phases[len(phases)-1].Load
 	}
+	if len(p.phases) == 0 {
+		return 0
+	}
+	return p.phases[len(p.phases)-1].Load
+}
+
+// NextArrival implements Schedule exactly: inside a zero-load phase the
+// next arrival is the phase boundary itself (the previous phase's Until is
+// the first cycle of the next), never one cycle off — an error here would
+// silently break bit-identity of the fast-forward path.
+func (p piecewise) NextArrival(now int64) (int64, bool) {
+	for _, ph := range p.phases {
+		if now >= ph.Until {
+			continue
+		}
+		if ph.Load > 0 {
+			return now, true
+		}
+		// Zero-load phase: the earliest candidate is the first cycle of
+		// the next phase, which is exactly this phase's Until.
+		now = ph.Until
+	}
+	// At or past the last Until: the last phase's load persists forever.
+	if len(p.phases) > 0 && p.phases[len(p.phases)-1].Load > 0 {
+		return now, true
+	}
+	return 0, false
 }
 
 // Fig12Bursts is the offered-load schedule of Figure 12: a base load of
@@ -186,10 +249,19 @@ func (g *Generator) SetPacket(class noc.MsgClass, bits int) {
 	g.class, g.bits = class, bits
 }
 
+// NextArrival returns the earliest cycle >= now at which the generator
+// can inject (the schedule's load turns positive), and ok=false if it
+// never will again. Tick draws no randomness at non-positive loads, so a
+// caller may jump simulated time straight to the reported cycle without
+// ticking the span in between and remain bit-identical.
+func (g *Generator) NextArrival(now int64) (int64, bool) {
+	return g.schedule.NextArrival(now)
+}
+
 // Tick injects this cycle's new packets: each node flips a Bernoulli coin
 // with the schedule's current load.
 func (g *Generator) Tick(now int64) {
-	load := g.schedule(now)
+	load := g.schedule.Load(now)
 	if load <= 0 {
 		return
 	}

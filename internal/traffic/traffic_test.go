@@ -79,11 +79,11 @@ func TestPiecewiseSchedule(t *testing.T) {
 	s := Piecewise(Phase{Until: 10, Load: 0.1}, Phase{Until: 20, Load: 0.5})
 	cases := map[int64]float64{0: 0.1, 9: 0.1, 10: 0.5, 19: 0.5, 25: 0.5, 1000: 0.5}
 	for c, want := range cases {
-		if got := s(c); got != want {
+		if got := s.Load(c); got != want {
 			t.Errorf("schedule(%d) = %v, want %v", c, got, want)
 		}
 	}
-	if Piecewise()(5) != 0 {
+	if Piecewise().Load(5) != 0 {
 		t.Error("empty schedule should offer 0")
 	}
 }
@@ -92,9 +92,97 @@ func TestFig12Schedule(t *testing.T) {
 	s := Fig12Bursts()
 	cases := map[int64]float64{0: 0.01, 999: 0.01, 1000: 0.30, 1499: 0.30, 1500: 0.01, 2000: 0.10, 2499: 0.10, 2500: 0.01}
 	for c, want := range cases {
-		if got := s(c); got != want {
+		if got := s.Load(c); got != want {
 			t.Errorf("Fig12Bursts(%d) = %v, want %v", c, got, want)
 		}
+	}
+}
+
+// TestNextArrivalExact: NextArrival must agree exactly with a brute-force
+// scan of Load over every schedule shape — in particular the zero-load
+// phase boundary case, where an off-by-one would silently break the
+// bit-identity of idle fast-forward (the regression this test pins).
+func TestNextArrivalExact(t *testing.T) {
+	// Every fixture below either turns positive within scanSpan cycles of
+	// any probe point or stays zero forever (all finite phase boundaries
+	// sit far below scanSpan), so a bounded scan is an exact oracle.
+	const scanSpan = 8000
+	scan := func(s Schedule, now int64) (int64, bool) {
+		for c := now; c < now+scanSpan; c++ {
+			if s.Load(c) > 0 {
+				return c, true
+			}
+		}
+		return 0, false
+	}
+	schedules := map[string]Schedule{
+		"constant":      Constant(0.2),
+		"constant-zero": Constant(0),
+		"fig12":         Fig12Bursts(),
+		"empty":         Piecewise(),
+		"zero-gap":      Piecewise(Phase{Until: 10, Load: 0.1}, Phase{Until: 30, Load: 0}, Phase{Until: 1 << 62, Load: 0.4}),
+		"leading-zero":  Piecewise(Phase{Until: 25, Load: 0}, Phase{Until: 1 << 62, Load: 0.3}),
+		"zero-tail":     Piecewise(Phase{Until: 10, Load: 0.1}, Phase{Until: 20, Load: 0}),
+		"adjacent-zero": Piecewise(Phase{Until: 5, Load: 0}, Phase{Until: 7, Load: 0}, Phase{Until: 9, Load: 0.5}, Phase{Until: 11, Load: 0}),
+	}
+	const horizon = 4000
+	for name, s := range schedules {
+		for now := int64(0); now < horizon; now++ {
+			wantAt, wantOK := scan(s, now)
+			gotAt, gotOK := s.NextArrival(now)
+			if gotOK != wantOK || (gotOK && gotAt != wantAt) {
+				t.Fatalf("%s: NextArrival(%d) = (%d, %v), want (%d, %v)", name, now, gotAt, gotOK, wantAt, wantOK)
+			}
+		}
+	}
+}
+
+// TestNextArrivalZeroRateBoundary pins the exact phase-boundary contract:
+// from inside a zero-load phase, the reported arrival is the phase's Until
+// itself (the first cycle of the next phase), not Until±1.
+func TestNextArrivalZeroRateBoundary(t *testing.T) {
+	s := Piecewise(Phase{Until: 100, Load: 0}, Phase{Until: 200, Load: 0.25})
+	for _, now := range []int64{0, 50, 99} {
+		if at, ok := s.NextArrival(now); !ok || at != 100 {
+			t.Fatalf("NextArrival(%d) = (%d, %v), want (100, true)", now, at, ok)
+		}
+	}
+	if at, ok := s.NextArrival(100); !ok || at != 100 {
+		t.Fatalf("NextArrival(100) = (%d, %v), want (100, true)", at, ok)
+	}
+	// ScheduleFunc stays conservative: an arrival every cycle.
+	f := ScheduleFunc(func(int64) float64 { return 0 })
+	if at, ok := f.NextArrival(42); !ok || at != 42 {
+		t.Fatalf("ScheduleFunc.NextArrival(42) = (%d, %v), want (42, true)", at, ok)
+	}
+}
+
+// TestGeneratorNextArrivalBitIdentity: ticking a generator through a
+// zero-load span draws no randomness, so skipping the span and resuming at
+// NextArrival yields the identical injection sequence.
+func TestGeneratorNextArrivalBitIdentity(t *testing.T) {
+	sched := Piecewise(Phase{Until: 50, Load: 0.3}, Phase{Until: 500, Load: 0}, Phase{Until: 1 << 62, Load: 0.3})
+	run := func(skip bool) int64 {
+		net := newTestNet(t)
+		gen := NewGenerator(net, UniformRandom{}, sched, 7)
+		for c := int64(0); c < 1000; {
+			if skip {
+				if at, ok := gen.NextArrival(c); ok && at > c {
+					c = at
+					continue
+				}
+			}
+			gen.Tick(c)
+			c++
+		}
+		return gen.Offered
+	}
+	ticked, skipped := run(false), run(true)
+	if ticked == 0 {
+		t.Fatal("no packets offered")
+	}
+	if ticked != skipped {
+		t.Fatalf("skip changed the injection sequence: %d vs %d packets", ticked, skipped)
 	}
 }
 

@@ -111,20 +111,26 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, fmt.Errorf("catnap: unknown gating kind %d", cfg.Gating)
 	}
 
-	net.SetParallel(cfg.ParallelSubnets)
+	shards := 0
 	if cfg.ShardedRouters {
-		k := cfg.ShardCount
-		if k <= 0 {
-			k = runtime.GOMAXPROCS(0)
+		shards = cfg.ShardCount
+		if shards <= 0 {
+			shards = runtime.GOMAXPROCS(0)
 		}
-		net.SetShards(k)
 	}
 	// The Simulator owns every packet producer and consumer it wires up
 	// (synthetic generators discard the handle; the cpusim models retain
 	// only the Payload), so packet structs are recycled through per-NI
 	// freelists. Custom sinks added via Net.AddSink must not retain a
 	// *Packet past the callback.
-	net.SetPacketRecycling(true)
+	if err := net.SetExecMode(noc.ExecMode{
+		Parallel:        cfg.ParallelSubnets,
+		Shards:          shards,
+		PacketRecycling: true,
+		IdleSkip:        !cfg.NoIdleSkip,
+	}); err != nil {
+		return nil, err
+	}
 	s.Model = power.NewModel(cfg.powerParams(), net.Config(), cfg.VoltageV)
 
 	net.AddSink(func(now int64, p *noc.Packet) {
@@ -236,16 +242,36 @@ func (s *Simulator) UseSplitMix(westMix, eastMix string) (*cpusim.System, error)
 // System returns the attached system model, or nil.
 func (s *Simulator) System() *cpusim.System { return s.sys }
 
+// SetExecMode applies a validated execution mode to this simulator's
+// network and keeps the congestion detector's reference-scan setting in
+// sync with the network's — the single coherent surface for every
+// execution knob (parallelism, sharding, reference scan, packet
+// recycling, idle fast-forward). Mid-run flips are supported and results
+// are bit-identical across all modes.
+func (s *Simulator) SetExecMode(m noc.ExecMode) error {
+	if err := s.Net.SetExecMode(m); err != nil {
+		return err
+	}
+	if s.Det != nil {
+		s.Det.SetReferenceScan(m.ReferenceScan)
+	}
+	return nil
+}
+
+// ExecMode returns the currently applied execution mode.
+func (s *Simulator) ExecMode() noc.ExecMode { return s.Net.ExecMode() }
+
 // SetReferenceScan switches this simulator's network and congestion
 // detector (if any) to the retained O(nodes) scan-based stepping path,
 // or back. Results are bit-identical either way; the reference path
 // exists for differential tests and as the honest pre-optimization
 // baseline in make bench-core.
+//
+// Deprecated: configure via SetExecMode.
 func (s *Simulator) SetReferenceScan(on bool) {
-	s.Net.SetReferenceScan(on)
-	if s.Det != nil {
-		s.Det.SetReferenceScan(on)
-	}
+	m := s.ExecMode()
+	m.ReferenceScan = on
+	s.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
 }
 
 // Step advances one cycle, ticking the synthetic generator if attached.
@@ -256,9 +282,35 @@ func (s *Simulator) Step() {
 	s.Net.Step()
 }
 
-// Run advances n cycles.
+// trySkip attempts idle fast-forward up to the run deadline `end`,
+// bounded by the attached synthetic generator's next injection cycle so
+// no Tick is ever skipped over (Tick draws no randomness at zero load,
+// which is what makes the jump bit-identical). The network itself bounds
+// the jump by its next staged event and fans the span out to every
+// observer; any observer that cannot summarize a span (the closed-loop
+// system model, test probes) vetoes the whole skip.
+func (s *Simulator) trySkip(end int64) {
+	if !s.Net.IdleSkip() {
+		return
+	}
+	target := end
+	if s.gen != nil {
+		if at, ok := s.gen.NextArrival(s.Net.Now()); ok && at < target {
+			target = at
+		}
+	}
+	s.Net.TrySkipIdle(target)
+}
+
+// Run advances n cycles, fast-forwarding through fully-quiescent idle
+// spans when the execution mode's IdleSkip is armed (the default).
 func (s *Simulator) Run(n int64) {
-	for i := int64(0); i < n; i++ {
+	end := s.Net.Now() + n
+	for s.Net.Now() < end {
+		s.trySkip(end)
+		if s.Net.Now() >= end {
+			break
+		}
 		s.Step()
 	}
 }
@@ -278,13 +330,18 @@ func (s *Simulator) RunCtx(ctx context.Context, n int64) error {
 		s.Run(n)
 		return nil
 	}
-	for i := int64(0); i < n; i++ {
+	end := s.Net.Now() + n
+	for i := int64(0); s.Net.Now() < end; i++ {
 		if i%ctxCheckCycles == 0 {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
 			default:
 			}
+		}
+		s.trySkip(end)
+		if s.Net.Now() >= end {
+			break
 		}
 		s.Step()
 	}
