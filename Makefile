@@ -25,12 +25,14 @@ lint:
 	$(GO) run ./cmd/catnap-lint ./...
 
 # check-race runs the noc + congestion differential suites under the
-# race detector: the sharded router phase, SetParallel, mid-run flips,
-# drain, and the incremental-vs-reference differentials all exercise
-# the concurrency contract documented on SetParallel/SetShards (built-in
+# race detector: the sharded router phase, parallel subnets, mid-run
+# flips, drain, and the incremental-vs-reference differentials all
+# exercise the concurrency contract documented on SetExecMode (built-in
 # policies, selector, detector, and tracers must tolerate calls from
 # worker goroutines). TestShardedBuiltinPoliciesRace is the dedicated
-# assertion; the rest catch staging/commit races against real traffic.
+# assertion; the TestShardedMulticore* suite raises GOMAXPROCS to 8 so
+# the StepPool genuinely fans out; the rest catch staging/commit races
+# against real traffic.
 check-race:
 	$(GO) test -race -count=1 -timeout 60m \
 		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential|IdleSkip' \
@@ -57,27 +59,28 @@ bench-telemetry:
 
 # bench-core times Network.Step across load/gating scenarios on both the
 # incremental path and the reference-scan path (min-of-5, interleaved),
-# writes BENCH_core.json (ns/cycle, B/cycle, speedup per scenario), and
-# fails if the low-load gated speedup regresses below 3x — the
-# O(active)-stepping guard. See DESIGN.md "Hot path".
+# sweeps the sharded scenarios' fast arm over GOMAXPROCS 1/2/4/8, writes
+# BENCH_core.json (ns/cycle, B/cycle, speedup per scenario plus the
+# per-GOMAXPROCS point matrix), and fails if the low-load gated speedup
+# regresses below 3x, if sharded stepping allocates beyond sequential
+# parity, or (on >=8-core machines) if 8-shard stepping misses 3x at
+# GOMAXPROCS=8 — the O(active)-stepping and multicore-scaling guards.
+# See DESIGN.md "Hot path".
 bench-core:
 	CORE_BENCH=1 $(GO) test -run TestCoreBenchGuard -count=1 -timeout 30m .
 
-# bench-compare runs the BenchmarkStep family twice (HEAD vs your
-# working tree, or just repeatedly) and diffs with benchstat. benchstat
-# is not vendored; install it once with:
-#   go install golang.org/x/perf/cmd/benchstat@latest
+# bench-compare snapshots the bench-core report and diffs it against the
+# previous snapshot with cmd/catnap-benchdiff, which understands the
+# BENCH_core.json schema including the per-GOMAXPROCS point matrix (and
+# tolerates baselines from before the matrix existed). First run saves
+# the baseline; later runs print per-scenario and per-GOMAXPROCS deltas.
 bench-compare:
-	@command -v benchstat >/dev/null 2>&1 || { \
-		echo "bench-compare: benchstat not found in PATH."; \
-		echo "install it with: go install golang.org/x/perf/cmd/benchstat@latest"; \
-		exit 1; }
-	$(GO) test -run xxx -bench BenchmarkStep -benchmem -count=10 . | tee bench_new.txt
-	@if [ -f bench_old.txt ]; then \
-		benchstat bench_old.txt bench_new.txt; \
+	CORE_BENCH=1 BENCH_CORE_OUT=bench_core_new.json $(GO) test -run TestCoreBenchGuard -count=1 -timeout 30m .
+	@if [ -f bench_core_old.json ]; then \
+		$(GO) run ./cmd/catnap-benchdiff bench_core_old.json bench_core_new.json; \
 	else \
-		cp bench_new.txt bench_old.txt; \
-		echo "bench-compare: saved baseline to bench_old.txt; rerun after changes to compare."; \
+		cp bench_core_new.json bench_core_old.json; \
+		echo "bench-compare: saved baseline to bench_core_old.json; rerun after changes to compare."; \
 	fi
 
 # Regenerate every table/figure at full scale into results/ (slow: ~1h).
@@ -101,4 +104,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_telemetry.json BENCH_core.json bench_old.txt bench_new.txt
+	rm -f test_output.txt bench_output.txt BENCH_telemetry.json BENCH_core.json \
+		bench_old.txt bench_new.txt bench_core_old.json bench_core_new.json

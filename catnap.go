@@ -132,7 +132,7 @@ type Config struct {
 	// contiguous row-band shards stepped concurrently, with cross-shard
 	// effects staged in commit queues and applied in a fixed order after
 	// the barrier — bit-identical to sequential stepping at any shard
-	// count (see noc.Network.SetShards). Where ParallelSubnets helps only
+	// count (see noc.ExecMode.Shards). Where ParallelSubnets helps only
 	// when load spreads across subnets, sharding parallelizes inside the
 	// one subnet Catnap's strict-priority selection concentrates traffic
 	// on; the two compose.

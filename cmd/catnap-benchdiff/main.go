@@ -1,0 +1,155 @@
+// Command catnap-benchdiff compares two BENCH_core.json reports (as
+// written by `make bench-core`) and prints per-scenario deltas: ns/cycle,
+// bytes/cycle, and speedup for the fast arm, plus every per-GOMAXPROCS
+// point of the sharded scenarios' scaling matrix. It tolerates older
+// reports that predate the matrix (missing gomaxprocs_points / num_cpu
+// fields), so a baseline captured before the schema change still diffs.
+//
+// Usage:
+//
+//	catnap-benchdiff [-fail-over PCT] old.json new.json
+//
+// With -fail-over set, the exit status is 1 if any scenario's fast arm
+// (or any GOMAXPROCS point) slowed down by more than PCT percent;
+// otherwise the tool is report-only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// gmpPoint mirrors one entry of a scenario's gomaxprocs_points matrix.
+type gmpPoint struct {
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	FastNsPerCycle    float64 `json:"fast_ns_per_cycle"`
+	FastBytesPerCycle float64 `json:"fast_bytes_per_cycle"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// benchRow mirrors one scenario entry of BENCH_core.json.
+type benchRow struct {
+	FastNsPerCycle    float64    `json:"fast_ns_per_cycle"`
+	RefNsPerCycle     float64    `json:"ref_ns_per_cycle"`
+	Speedup           float64    `json:"speedup"`
+	FastBytesPerCycle float64    `json:"fast_bytes_per_cycle"`
+	RefBytesPerCycle  float64    `json:"ref_bytes_per_cycle"`
+	Shards            int        `json:"shards"`
+	RefMode           string     `json:"ref_mode"`
+	GOMAXPROCSPoints  []gmpPoint `json:"gomaxprocs_points"`
+}
+
+// benchReport mirrors the top level of BENCH_core.json.
+type benchReport struct {
+	Cycles     int64               `json:"measure_cycles_per_run"`
+	Reps       int                 `json:"reps_min_of"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Scenarios  map[string]benchRow `json:"scenarios"`
+}
+
+func load(path string) (benchReport, error) {
+	var r benchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.Scenarios == nil {
+		return r, fmt.Errorf("%s: no scenarios section (not a BENCH_core.json report?)", path)
+	}
+	return r, nil
+}
+
+// pct returns the relative change new-vs-old in percent; +Inf-ish cases
+// (old == 0) report 0 so a fresh metric never trips the regression gate.
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "exit 1 if any fast arm slows down by more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: catnap-benchdiff [-fail-over PCT] old.json new.json")
+		os.Exit(2)
+	}
+	oldR, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catnap-benchdiff:", err)
+		os.Exit(2)
+	}
+	newR, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catnap-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	if oldR.Cycles != newR.Cycles || oldR.Reps != newR.Reps {
+		fmt.Printf("note: window mismatch (old %d cycles x%d reps, new %d cycles x%d reps); deltas compare different workloads\n",
+			oldR.Cycles, oldR.Reps, newR.Cycles, newR.Reps)
+	}
+	fmt.Printf("old: GOMAXPROCS=%d NumCPU=%d   new: GOMAXPROCS=%d NumCPU=%d\n",
+		oldR.GOMAXPROCS, oldR.NumCPU, newR.GOMAXPROCS, newR.NumCPU)
+	fmt.Printf("%-26s %22s %18s %18s\n", "scenario", "fast ns/cycle", "fast B/cycle", "speedup")
+
+	names := make([]string, 0, len(newR.Scenarios))
+	for name := range newR.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	row := func(label string, oldOK bool, oldNs, newNs, oldBy, newBy, oldSp, newSp float64) {
+		if !oldOK {
+			fmt.Printf("%-26s %12.1f (new)    %10.1f (new)  %8.2fx (new)\n", label, newNs, newBy, newSp)
+			return
+		}
+		d := pct(oldNs, newNs)
+		if *failOver > 0 && d > *failOver {
+			regressed = true
+		}
+		fmt.Printf("%-26s %8.1f -> %8.1f (%+6.1f%%) %6.1f -> %6.1f  %5.2fx -> %5.2fx\n",
+			label, oldNs, newNs, d, oldBy, newBy, oldSp, newSp)
+	}
+
+	for _, name := range names {
+		n := newR.Scenarios[name]
+		o, ok := oldR.Scenarios[name]
+		row(name, ok, o.FastNsPerCycle, n.FastNsPerCycle,
+			o.FastBytesPerCycle, n.FastBytesPerCycle, o.Speedup, n.Speedup)
+		for _, np := range n.GOMAXPROCSPoints {
+			var op gmpPoint
+			opOK := false
+			if ok {
+				for _, p := range o.GOMAXPROCSPoints {
+					if p.GOMAXPROCS == np.GOMAXPROCS {
+						op, opOK = p, true
+						break
+					}
+				}
+			}
+			row(fmt.Sprintf("  GOMAXPROCS=%d", np.GOMAXPROCS), opOK,
+				op.FastNsPerCycle, np.FastNsPerCycle,
+				op.FastBytesPerCycle, np.FastBytesPerCycle, op.Speedup, np.Speedup)
+		}
+	}
+	for name := range oldR.Scenarios {
+		if _, ok := newR.Scenarios[name]; !ok {
+			fmt.Printf("%-26s dropped from new report\n", name)
+		}
+	}
+
+	if regressed {
+		fmt.Printf("catnap-benchdiff: at least one fast arm slowed down by more than %.1f%%\n", *failOver)
+		os.Exit(1)
+	}
+}

@@ -39,7 +39,11 @@ func skipSample(t *testing.T, reference bool, rec *telemetry.Recorder) Results {
 	cfg.NoIdleSkip = reference
 	sim := mustSim(cfg)
 	if reference {
-		sim.SetReferenceScan(true)
+		m := sim.ExecMode()
+		m.ReferenceScan = true
+		if err := sim.SetExecMode(m); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if rec != nil {
 		sim.EnableTelemetry(rec, "skip-sample")

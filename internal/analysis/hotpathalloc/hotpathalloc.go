@@ -24,7 +24,7 @@
 // either way), but every construct it flags is a latent allocation on the
 // per-cycle path, and the bench guards confirm the dynamic truth. Known
 // cold paths inside hot functions (one-time ring growth, the freelist-
-// miss new(Packet), the SetParallel legacy spawn) carry //lint:ignore
+// miss new(Packet)) carry //lint:ignore
 // with the justification.
 package hotpathalloc
 

@@ -1,5 +1,5 @@
-// Package tracercontract checks the SetParallel callback contract
-// (documented on noc.SetParallel and noc.SetShards): with parallel or
+// Package tracercontract checks the parallel-execution callback contract
+// (documented on noc.Network.SetExecMode): with parallel or
 // sharded stepping enabled, GatingPolicy and PowerTracer callbacks — and
 // the congestion detector's Tracer hooks — are dispatched from worker
 // goroutines, so the functions that invoke them are part of the audited
@@ -139,7 +139,7 @@ func (c *checker) checkCalls(n ast.Node, locks int) {
 		}
 		if locks > 0 {
 			c.pass.Reportf(call.Pos(),
-				"%s callback invoked while holding a lock: callbacks must fire lock-free per the SetParallel contract", ifaceName(s.Recv()))
+				"%s callback invoked while holding a lock: callbacks must fire lock-free per the SetExecMode contract", ifaceName(s.Recv()))
 		}
 		if !c.workerSafe {
 			c.pass.Reportf(call.Pos(),

@@ -5,6 +5,7 @@ import (
 
 	"github.com/catnap-noc/catnap/internal/congestion"
 	"github.com/catnap-noc/catnap/internal/core"
+	"github.com/catnap-noc/catnap/internal/noc"
 	"github.com/catnap-noc/catnap/internal/traffic"
 )
 
@@ -41,7 +42,9 @@ func runDetector(t *testing.T, kind congestion.MetricKind, ref bool, cycles int,
 	net.AddObserver(det)
 	net.SetSelector(core.NewCatnapSelector(det, net.Config().Nodes()))
 	net.SetGatingPolicy(core.NewCatnapGating(det))
-	net.SetReferenceScan(ref)
+	if err := net.SetExecMode(noc.ExecMode{ReferenceScan: ref}); err != nil {
+		t.Fatal(err)
+	}
 	det.SetReferenceScan(ref)
 
 	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Constant(load), 41)

@@ -197,11 +197,14 @@ type diffOpts struct {
 	ref          bool
 	skip         bool // arm idle fast-forward and attempt it every cycle
 	shards       int  // router-phase shard count (0 = unsharded)
+	affinity     bool // shard-affine dispatch (ExecMode.ShardAffinity)
+	stealBatch   int  // steal granularity (ExecMode.StealBatch, 0 = auto)
 	sched        traffic.Schedule
 	cycles       int
 	flipRef      []int
 	flipShards   []int
 	flipParallel []int
+	flipTuning   []int // toggle ShardAffinity and rotate StealBatch mid-run
 	flipSkip     []int
 	drainAt      []int
 	drainBudget  int64
@@ -249,11 +252,13 @@ func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 
 	fp := diffFingerprint{}
 	noFlips := len(o.flipRef) == 0 && len(o.flipShards) == 0 &&
-		len(o.flipParallel) == 0 && len(o.flipSkip) == 0
+		len(o.flipParallel) == 0 && len(o.flipTuning) == 0 && len(o.flipSkip) == 0
 	probe := &diffProbe{t: t, net: net, out: &fp.cycleHash, check: !o.ref && !o.skip && noFlips}
 	net.AddObserver(probe)
 
-	mode := noc.ExecMode{Parallel: o.parallel, Shards: o.shards, ReferenceScan: o.ref, IdleSkip: o.skip}
+	mode := noc.ExecMode{Parallel: o.parallel, Shards: o.shards,
+		ShardAffinity: o.affinity, StealBatch: o.stealBatch,
+		ReferenceScan: o.ref, IdleSkip: o.skip}
 	apply := func() {
 		if err := net.SetExecMode(mode); err != nil {
 			t.Fatal(err)
@@ -268,6 +273,7 @@ func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 	flipRef := append([]int(nil), o.flipRef...)
 	flipShards := append([]int(nil), o.flipShards...)
 	flipParallel := append([]int(nil), o.flipParallel...)
+	flipTuning := append([]int(nil), o.flipTuning...)
 	flipSkip := append([]int(nil), o.flipSkip...)
 	drainAt := append([]int(nil), o.drainAt...)
 	end := int64(o.cycles)
@@ -292,6 +298,12 @@ func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 			mode.Parallel = !mode.Parallel
 			apply()
 		}
+		if len(flipTuning) > 0 && int64(flipTuning[0]) <= now {
+			flipTuning = flipTuning[1:]
+			mode.ShardAffinity = !mode.ShardAffinity
+			mode.StealBatch = (mode.StealBatch + 3) % 7
+			apply()
+		}
 		if len(flipSkip) > 0 && int64(flipSkip[0]) <= now {
 			flipSkip = flipSkip[1:]
 			mode.IdleSkip = !mode.IdleSkip
@@ -308,7 +320,7 @@ func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 			// next injection cycle, then let the network and its observers
 			// bound it further.
 			target := end
-			for _, f := range [][]int{flipRef, flipShards, flipParallel, flipSkip, drainAt} {
+			for _, f := range [][]int{flipRef, flipShards, flipParallel, flipTuning, flipSkip, drainAt} {
 				if len(f) > 0 && int64(f[0]) < target {
 					target = int64(f[0])
 				}

@@ -142,14 +142,15 @@ func TestPowerStateTimings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := &net.subnets[0].routers[0]
+	sub := net.subnets[0]
+	r := &sub.routers[0]
 	r.sleep(100, 4)
-	if r.state != PowerAsleep {
+	if sub.pstate[0] != PowerAsleep {
 		t.Fatal("sleep failed")
 	}
 	r.wake(100, 10, WakeNI)
-	if r.state != PowerWaking || r.wakeAt != 110 {
-		t.Fatalf("state=%v wakeAt=%d", r.state, r.wakeAt)
+	if sub.pstate[0] != PowerWaking || r.wakeAt != 110 {
+		t.Fatalf("state=%v wakeAt=%d", sub.pstate[0], r.wakeAt)
 	}
 	// A faster signal (look-ahead) accelerates the wake.
 	r.wake(101, 7, WakeLookAhead)
@@ -162,9 +163,9 @@ func TestPowerStateTimings(t *testing.T) {
 		t.Fatalf("wakeAt=%d after slower signal", r.wakeAt)
 	}
 	// Waking a running router is a no-op.
-	r.state = PowerActive
+	sub.pstate[0] = PowerActive
 	r.wake(200, 10, WakeNI)
-	if r.state != PowerActive {
+	if sub.pstate[0] != PowerActive {
 		t.Fatal("wake disturbed an active router")
 	}
 }

@@ -23,6 +23,9 @@ func (n *Network) CheckQuiescent() error {
 			}
 		}
 		for ni := range s.routers {
+			if s.occSlots[ni] != 0 {
+				return fmt.Errorf("noc: subnet %d router %d occupancy bitmask %#x not drained", si, ni, s.occSlots[ni])
+			}
 			r := &s.routers[ni]
 			for p := range r.in {
 				ip := &r.in[p]
@@ -41,7 +44,7 @@ func (n *Network) CheckQuiescent() error {
 				op := &r.out[p]
 				if op.credits != nil {
 					for v, c := range op.credits {
-						if c != n.cfg.VCDepth {
+						if c != int32(n.cfg.VCDepth) {
 							return fmt.Errorf("noc: subnet %d router %d out %d vc %d credits=%d want %d", si, ni, p, v, c, n.cfg.VCDepth)
 						}
 					}

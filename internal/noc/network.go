@@ -3,8 +3,8 @@ package noc
 import (
 	"fmt"
 	"math/bits"
-	"sync"
 
+	"github.com/catnap-noc/catnap/internal/runner"
 	"github.com/catnap-noc/catnap/internal/stats"
 	"github.com/catnap-noc/catnap/internal/topology"
 )
@@ -50,6 +50,21 @@ type Network struct {
 	shardCount int
 	plan       *shardPlan
 	shardTasks []shardTask
+	// pool runs the per-cycle fan-out (shard tasks, per-subnet phases) on
+	// reusable parked workers. affinity/stealBatch are the applied
+	// ExecMode.ShardAffinity/StealBatch tuning knobs for shard dispatch.
+	pool       *runner.StepPool
+	affinity   bool
+	stealBatch int
+	// phaseNow and the pre-bound task closures below exist so that a
+	// steady-state Step performs zero allocations: the closures are built
+	// once in New and read the current cycle from phaseNow instead of
+	// capturing it per cycle. phaseNow is written by the dispatching
+	// goroutine before pool.Run and is read-only during a burst.
+	phaseNow int64
+	shardFn  func(int)
+	phaseFn  func(int)
+	commitFn func(int)
 	// recycle enables the per-NI packet freelist: delivered packets are
 	// reused by later NewPacket calls at the same source node.
 	recycle bool
@@ -116,6 +131,21 @@ func New(cfg Config, selector SubnetSelector) (*Network, error) {
 	n.niQBits = make([]uint64, (cfg.Nodes()+63)/64)
 	n.niWorkBits = make([]uint64, (cfg.Nodes()+63)/64)
 	n.flitsPerSubnet = make([]int64, cfg.Subnets)
+	n.pool = runner.NewStepPool(0, 0)
+	n.shardFn = func(i int) {
+		t := n.shardTasks[i]
+		n.subnets[t.sub].routerPhaseShard(n.phaseNow, int(t.shard))
+	}
+	n.phaseFn = func(i int) {
+		s := n.subnets[i]
+		s.routerPhase(n.phaseNow)
+		s.powerPhase(n.phaseNow)
+	}
+	n.commitFn = func(i int) {
+		s := n.subnets[i]
+		s.applyCommits(n.phaseNow)
+		s.powerPhase(n.phaseNow)
+	}
 	return n, nil
 }
 
@@ -136,20 +166,6 @@ func (n *Network) SetGatingPolicy(p GatingPolicy) {
 	}
 }
 
-// SetReferenceScan switches between the incremental O(active) stepping
-// path (default) and the retained O(nodes) scan-based reference path.
-// Both produce bit-identical results; the reference path exists for
-// differential tests and as the honest pre-optimization baseline in
-// benchmark comparisons. Switching mid-run is supported: the idle-streak
-// representation is converted and sleep checks are re-armed.
-//
-// Deprecated: configure via SetExecMode.
-func (n *Network) SetReferenceScan(on bool) {
-	m := n.ExecMode()
-	m.ReferenceScan = on
-	n.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
-}
-
 // applyReferenceScan is SetExecMode's reference-scan transition: a no-op
 // when the mode already matches, otherwise it converts the idle-streak
 // representation and re-arms sleep checks.
@@ -161,14 +177,14 @@ func (n *Network) applyReferenceScan(on bool) {
 	for _, s := range n.subnets {
 		s.refScan = on
 		for i := range s.routers {
-			r := &s.routers[i]
-			if r.state != PowerActive {
+			if s.pstate[i] != PowerActive {
 				continue
 			}
+			r := &s.routers[i]
 			if on {
-				r.emptySince = r.lastBusy + 1
+				r.emptySince = s.lastBusy[i] + 1
 			} else {
-				r.lastBusy = r.emptySince - 1
+				s.lastBusy[i] = r.emptySince - 1
 			}
 		}
 		if !on && n.gating != nil {
@@ -242,27 +258,10 @@ func (n *Network) NI(i int) *NI { return n.nis[i] }
 // Now returns the current cycle (the cycle the next Step will execute).
 func (n *Network) Now() int64 { return n.now }
 
-// SetPacketRecycling enables (or disables) per-NI packet freelists:
-// once a packet's tail flit ejects and every delivery sink has run, the
-// Packet struct is returned to its source NI's freelist and reused by a
-// later NewPacket there, taking the per-injection heap allocation out of
-// the steady-state loop. Off by default because it changes NewPacket's
-// contract: with recycling on, callers and sinks must not retain (or
-// read) a *Packet after its delivery callbacks return — every field,
-// including Payload, is reused. The Simulator enables it; its traffic
-// generators and system models never retain packets.
-//
-// Deprecated: configure via SetExecMode.
-func (n *Network) SetPacketRecycling(on bool) {
-	m := n.ExecMode()
-	m.PacketRecycling = on
-	n.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
-}
-
 // NewPacket creates a packet from src to dst with a unique ID and the
 // current cycle as its creation time, and enqueues it at src's NI source
 // queue. It returns the packet for callers that track completion; see
-// SetPacketRecycling for the lifetime caveat.
+// ExecMode.PacketRecycling for the lifetime caveat.
 //
 //catnap:hotpath called once per injected packet
 func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet {
@@ -293,35 +292,9 @@ func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet 
 	return p
 }
 
-// SetParallel enables (or disables) parallel execution of the router and
-// power phases, one goroutine per subnet. Subnets share no mutable state
-// during those phases — wheels, events, and wake signals are all
-// per-subnet, and policies only read the (phase-stable) detector state —
-// so results are bit-identical to sequential execution; the equivalence
-// is asserted by TestParallelEquivalence.
-//
-// Concurrency contract: with this on (and likewise with SetShards),
-// GatingPolicy and PowerTracer callbacks are invoked from worker
-// goroutines, concurrently across subnets — not merely "must tolerate
-// concurrent calls" in the abstract: every AllowSleep/WantWake call and
-// every sleep/wake trace event can arrive on a different goroutine than
-// the one calling Step. The built-in policies and the telemetry tracer
-// are race-free under this contract (asserted by the -race suite, see
-// TestShardedBuiltinPoliciesRace); custom implementations must be too.
-// When combined with SetShards, the per-subnet commit/power stage also
-// runs on the shared worker pool instead of one goroutine per subnet.
-//
-// Deprecated: configure via SetExecMode.
-func (n *Network) SetParallel(on bool) {
-	m := n.ExecMode()
-	m.Parallel = on
-	n.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
-}
-
 // Step advances the network by one cycle.
 //
 //catnap:hotpath the per-cycle entry point; the bench-core guard asserts 0 B/cycle through here
-//catnap:worker-pool legacy SetParallel spawn: one transient goroutine per subnet, joined before return
 func (n *Network) Step() {
 	t := n.now
 	for _, s := range n.subnets {
@@ -345,17 +318,8 @@ func (n *Network) Step() {
 	if n.plan != nil && !n.refScan {
 		n.stepSharded(t)
 	} else if n.parallel {
-		var wg sync.WaitGroup
-		for _, s := range n.subnets {
-			wg.Add(1)
-			//lint:ignore hotpathalloc legacy SetParallel fan-out allocates one closure per subnet per cycle; the 0 B/cycle guard binds the default sequential path
-			go func(s *Subnet) {
-				defer wg.Done()
-				s.routerPhase(t)
-				s.powerPhase(t)
-			}(s)
-		}
-		wg.Wait()
+		n.phaseNow = t
+		n.pool.Run(len(n.subnets), false, 1, n.phaseFn)
 	} else {
 		for _, s := range n.subnets {
 			s.routerPhase(t)
@@ -411,7 +375,7 @@ func (n *Network) eject(now int64, node int, f flit) {
 	}
 	if n.recycle {
 		// All sinks have run; the struct may now be reused by the next
-		// NewPacket at the source node (see SetPacketRecycling).
+		// NewPacket at the source node (see ExecMode.PacketRecycling).
 		n.nis[p.Src].free = append(n.nis[p.Src].free, p)
 	}
 }

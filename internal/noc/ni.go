@@ -99,7 +99,7 @@ type NI struct {
 	injQ      pktQueue
 	injQFlits int
 
-	// free is the packet freelist (SetPacketRecycling): delivered packets
+	// free is the packet freelist (ExecMode.PacketRecycling): delivered packets
 	// whose source is this node, awaiting reuse by NewPacket.
 	free []*Packet
 
@@ -243,13 +243,13 @@ func (ni *NI) injectPhase(now int64) {
 		if ch.active == 0 {
 			continue
 		}
-		router := &ni.net.subnets[s].routers[ni.node]
-		if router.state != PowerActive {
-			if router.state == PowerAsleep {
+		sub := ni.net.subnets[s]
+		if st := sub.pstate[ni.node]; st != PowerActive {
+			if st == PowerAsleep {
 				// NI wake-up: nothing hides the latency here; the packet
 				// waits out the full T-wakeup.
-				router.wake(now, cfg.TWakeup, WakeNI)
-				ni.net.subnets[s].events.WakeupSignals++
+				sub.routers[ni.node].wake(now, cfg.TWakeup, WakeNI)
+				sub.events.WakeupSignals++
 			}
 			continue
 		}

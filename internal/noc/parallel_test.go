@@ -22,7 +22,9 @@ func runGated(t *testing.T, parallel bool, cycles int) (int64, float64, noc.Powe
 	net.AddObserver(det)
 	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
 	net.SetGatingPolicy(core.NewCatnapGating(det))
-	net.SetParallel(parallel)
+	if err := net.SetExecMode(noc.ExecMode{Parallel: parallel}); err != nil {
+		t.Fatal(err)
+	}
 	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Fig12Bursts(), 99)
 	for i := 0; i < cycles; i++ {
 		gen.Tick(net.Now())

@@ -96,10 +96,12 @@ type outputPort struct {
 	// downInPort is the input port index at the downstream router this
 	// link feeds.
 	downInPort int
-	// credits[v] is the free-slot count of downstream VC v. Nil for the
+	// credits[v] is the free-slot count of downstream VC v — a subslice
+	// of the subnet's flat outCredits array, so the deliver phase can
+	// drain credit returns without loading any Router struct. Nil for the
 	// Local port, whose ejection sink is not credit-limited (ejection
 	// bandwidth is limited structurally to one crossbar grant per cycle).
-	credits []int
+	credits []int32
 	// busy[v] marks downstream VC v as allocated to an in-flight packet
 	// (wormhole: held from head allocation to tail traversal).
 	busy []bool
@@ -113,31 +115,29 @@ type Router struct {
 	sub  *Subnet
 	node int
 
+	// in/out/grantedInput are subslices of the subnet's contiguous
+	// backing pools (inPool/outPool/grantPool): one allocation per
+	// subnet per kind, and a shard's routers sit on adjacent cache
+	// lines. See the struct-of-arrays layout notes on Subnet.
 	in  []inputPort
 	out []outputPort
 
-	// Power gating state.
-	state  PowerState
+	// Power gating state. The state itself lives in Subnet.pstate (flat,
+	// indexed by node) so phase loops and downstream-awake checks never
+	// load a Router struct for it; read it via State() or sub.pstate.
 	wakeAt int64
 	// sleptAt is the cycle the current/last sleep period began (telemetry
 	// reports the period length on wake).
 	sleptAt int64
-	// pinnedUntil is the latest cycle at which an in-flight flit is
-	// scheduled to arrive; the router may not sleep before then, which
-	// guarantees no flit is ever sent to (or stranded in) a gated router.
-	pinnedUntil int64
+	// The latest in-flight arrival cycle (may not sleep before it) lives
+	// in Subnet.pinnedUntil[node]; the lazy last-busy cycle in
+	// Subnet.lastBusy[node].
+	//
 	// emptySince is the first cycle of the current continuous
 	// all-buffers-empty streak (meaningless while occupied). Only the
 	// reference scan path maintains it per cycle; the incremental path
-	// derives the same idle count from lastBusy.
+	// derives the same idle count from Subnet.lastBusy.
 	emptySince int64
-	// lastBusy is the last cycle at which the router was (or will have
-	// been) busy at its power phase: buffers occupied, a flit pinned in
-	// flight, or the local NI mid-stream. It is updated lazily at the
-	// few events that end a busy condition, so idle(now) == now-lastBusy
-	// equals the reference path's now-emptySince+1 without per-cycle
-	// writes.
-	lastBusy int64
 	// checkAt is the cycle of the currently scheduled sleep-eligibility
 	// check (-1 none). Stale check-wheel entries are skipped by
 	// comparing against it, so rescheduling is a single overwrite.
@@ -149,12 +149,15 @@ type Router struct {
 	// deliver/traverse so the per-cycle hot paths never rescan ports.
 	totalOcc   int
 	maxPortOcc int
-	// occSlots marks the non-empty (input port, VC) slots, bit p*VCs+v.
-	// Maintained at deliver (push) and traverse (pop); the allocation
-	// stages consult it on the incremental path so empty slots cost one
-	// shift instead of a VC-state load. Usable only when every slot fits
-	// in the word (slotMask); larger radices fall back to the full scan.
-	occSlots uint64
+	// occ points at this router's word in Subnet.occSlots: the non-empty
+	// (input port, VC) slot bitmask, bit p*VCs+v. Maintained at deliver
+	// (push) and traverse (pop); the allocation stages consult it on the
+	// incremental path so empty slots cost one shift instead of a
+	// VC-state load. Usable only when every slot fits in the word
+	// (slotMask); larger radices fall back to the full scan. Writing
+	// through the router's own pointer keeps the sharded router phase's
+	// staging discipline visible to the linter.
+	occ      *uint64
 	slotMask bool
 
 	// Congestion-metric instrumentation (cumulative; readers take deltas).
@@ -172,24 +175,31 @@ type Router struct {
 	cq *commitQueue
 }
 
-// init wires the router into its subnet at the given node.
+// init wires the router into its subnet at the given node. All port,
+// VC, flit-ring, credit, and scratch storage is carved out of the
+// subnet's contiguous pools (allocated once in newSubnet), so routers
+// own views, not allocations.
 func (r *Router) init(sub *Subnet, node int) {
 	cfg := sub.net.cfg
 	topo := sub.net.topo
-	radix := topo.Radix()
+	radix := sub.radix
 	r.sub = sub
 	r.node = node
 	r.csc = stats.NewCSC(int64(cfg.TBreakeven))
-	r.in = make([]inputPort, radix)
-	r.out = make([]outputPort, radix)
-	r.grantedInput = make([]bool, radix)
+	pb := node * radix
+	r.in = sub.inPool[pb : pb+radix : pb+radix]
+	r.out = sub.outPool[pb : pb+radix : pb+radix]
+	r.grantedInput = sub.grantPool[pb : pb+radix : pb+radix]
+	r.occ = &sub.occSlots[node]
 	r.slotMask = radix*cfg.VCs <= 64
 	local := radix - 1
 	for p := 0; p < radix; p++ {
 		ip := &r.in[p]
-		ip.vcs = make([]vcState, cfg.VCs)
+		vb := (pb + p) * cfg.VCs
+		ip.vcs = sub.vcPool[vb : vb+cfg.VCs : vb+cfg.VCs]
 		for v := range ip.vcs {
-			ip.vcs[v].q = make([]flit, cfg.VCDepth)
+			qb := (vb + v) * cfg.VCDepth
+			ip.vcs[v].q = sub.flitPool[qb : qb+cfg.VCDepth : qb+cfg.VCDepth]
 			ip.vcs[v].outVC = -1
 		}
 		op := &r.out[p]
@@ -198,24 +208,22 @@ func (r *Router) init(sub *Subnet, node int) {
 			if peer, peerPort, ok := topo.Link(node, p); ok {
 				op.downstream = peer
 				op.downInPort = peerPort
-				op.credits = make([]int, cfg.VCs)
+				op.credits = sub.outCredits[vb : vb+cfg.VCs : vb+cfg.VCs]
 				for v := range op.credits {
-					op.credits[v] = cfg.VCDepth
+					op.credits[v] = int32(cfg.VCDepth)
 				}
-				op.busy = make([]bool, cfg.VCs)
+				op.busy = sub.busyPool[vb : vb+cfg.VCs : vb+cfg.VCs]
 			}
 		} else {
-			op.busy = make([]bool, cfg.VCs)
+			op.busy = sub.busyPool[vb : vb+cfg.VCs : vb+cfg.VCs]
 		}
 	}
-	r.state = PowerActive
 	r.emptySince = 0
-	r.lastBusy = -1 // never busy yet: idle(now) == now+1 == now-emptySince+1
 	r.checkAt = -1
 }
 
 // State returns the router's power state.
-func (r *Router) State() PowerState { return r.state }
+func (r *Router) State() PowerState { return r.sub.pstate[r.node] }
 
 // CSC returns the router's compensated-sleep-cycle tracker.
 func (r *Router) CSC() *stats.CSC { return r.csc }
@@ -270,13 +278,13 @@ func (r *Router) BlockingCounters() (blockedCycles, granted int64) {
 //catnap:hotpath
 //catnap:worker-safe reached from the parallel power/deliver phases; the tracer must accept worker-goroutine calls
 func (r *Router) wake(now int64, delay int, cause WakeCause) {
-	switch r.state {
+	switch r.sub.pstate[r.node] {
 	case PowerActive:
 		return
 	case PowerAsleep:
 		r.csc.Wake(now)
 		r.sub.events.GatingTransitions++
-		r.state = PowerWaking
+		r.sub.pstate[r.node] = PowerWaking
 		r.sub.onWakeStart(r.node)
 		r.wakeAt = now + int64(delay)
 		if t := r.sub.net.tracer; t != nil {
@@ -296,7 +304,7 @@ func (r *Router) wake(now int64, delay int, cause WakeCause) {
 //catnap:hotpath
 //catnap:worker-safe reached from the parallel power phase; the tracer must accept worker-goroutine calls
 func (r *Router) sleep(now, idle int64) {
-	r.state = PowerAsleep
+	r.sub.pstate[r.node] = PowerAsleep
 	r.sub.onSleep(r.node)
 	r.checkAt = -1 // any pending check-wheel entry is now stale
 	r.sleptAt = now
@@ -313,10 +321,10 @@ func (r *Router) sleep(now, idle int64) {
 //
 //catnap:hotpath
 func (r *Router) completeWake(now int64) {
-	r.state = PowerActive
+	r.sub.pstate[r.node] = PowerActive
 	r.sub.onWakeDone(r.node)
 	r.emptySince = now + 1
-	r.lastBusy = now
+	r.sub.lastBusy[r.node] = now
 	r.sub.scheduleCheck(r, now)
 }
 
@@ -326,8 +334,8 @@ func (r *Router) completeWake(now int64) {
 //
 //catnap:hotpath
 func (r *Router) noteBusyEnd(now, busyCycle int64) {
-	if busyCycle > r.lastBusy {
-		r.lastBusy = busyCycle
+	if busyCycle > r.sub.lastBusy[r.node] {
+		r.sub.lastBusy[r.node] = busyCycle
 	}
 	r.sub.scheduleCheck(r, now)
 }
@@ -343,7 +351,7 @@ func (r *Router) deliver(now int64, p, v int, f flit) {
 	cfg := r.sub.net.cfg
 	f.eligibleAt = now + int64(cfg.RouterDelay)
 	r.in[p].vcs[v].push(f)
-	r.occSlots |= 1 << uint(p*cfg.VCs+v) // no-op beyond 64 slots (slotMask off)
+	*r.occ |= 1 << uint(p*cfg.VCs+v) // no-op beyond 64 slots (slotMask off)
 	occ := r.in[p].occupancy + 1
 	r.in[p].occupancy = occ
 	r.totalOcc++
@@ -359,12 +367,11 @@ func (r *Router) deliver(now int64, p, v int, f flit) {
 
 	if f.head() && int(f.nextPort) != r.sub.net.localPort {
 		down := r.out[f.nextPort].downstream
-		if down >= 0 {
-			dr := &r.sub.routers[down]
-			if dr.state != PowerActive {
-				dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
-				r.sub.events.WakeupSignals++
-			}
+		// The flat power-state read keeps the common all-active case from
+		// loading the downstream Router struct at all.
+		if down >= 0 && r.sub.pstate[down] != PowerActive {
+			r.sub.routers[down].wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+			r.sub.events.WakeupSignals++
 		}
 	}
 }
@@ -383,7 +390,7 @@ func (r *Router) vcAllocate() {
 		// rotated-port, ascending-VC order as the scan below. vcAllocate
 		// never changes slot occupancy, so the snapshot is exact.
 		vcs := r.sub.net.cfg.VCs
-		occ := r.occSlots
+		occ := *r.occ
 		for pi := 0; pi < nports; pi++ {
 			p := (pi + r.vaRR) % nports
 			ip := &r.in[p]
@@ -541,19 +548,19 @@ func (r *Router) switchAllocate(now int64) int {
 					r.blockedFlitCycles++
 					continue
 				}
-				if dr := &r.sub.routers[op.downstream]; dr.state != PowerActive {
+				if st := r.sub.pstate[op.downstream]; st != PowerActive {
 					// The downstream router went to sleep after this
 					// flit's delivery-time wakeup (or was never signalled
 					// because it was awake then). A blocked flit keeps the
 					// wakeup line asserted — without this, a flit parked
 					// behind a router that sleeps later is stranded
 					// forever in a quiet network.
-					if dr.state == PowerAsleep {
+					if st == PowerAsleep {
 						if cq != nil {
 							cq.wakes = append(cq.wakes, int32(op.downstream))
 						} else {
 							cfg := r.sub.net.cfg
-							dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+							r.sub.routers[op.downstream].wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
 							r.sub.events.WakeupSignals++
 						}
 					}
@@ -601,7 +608,7 @@ func (r *Router) switchAllocateFast(now int64) int {
 		if o != local && op.downstream < 0 {
 			continue
 		}
-		occ := r.occSlots
+		occ := *r.occ
 		granted := false
 		base := op.rr
 		for k := 0; k < slots; {
@@ -645,12 +652,12 @@ func (r *Router) switchAllocateFast(now int64) int {
 					r.blockedFlitCycles++
 					continue
 				}
-				if dr := &r.sub.routers[op.downstream]; dr.state != PowerActive {
-					if dr.state == PowerAsleep {
+				if st := r.sub.pstate[op.downstream]; st != PowerActive {
+					if st == PowerAsleep {
 						if cq != nil {
 							cq.wakes = append(cq.wakes, int32(op.downstream))
 						} else {
-							dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+							r.sub.routers[op.downstream].wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
 							r.sub.events.WakeupSignals++
 						}
 					}
@@ -682,7 +689,7 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 	cfg := r.sub.net.cfg
 	f := vc.pop()
 	if vc.empty() {
-		r.occSlots &^= 1 << uint(p*cfg.VCs+v)
+		*r.occ &^= 1 << uint(p*cfg.VCs+v)
 	}
 	occ := r.in[p].occupancy - 1
 	r.in[p].occupancy = occ
@@ -778,9 +785,8 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 		return
 	}
 	arriveAt := now + int64(cfg.LinkDelay)
-	dr := &r.sub.routers[op.downstream]
-	if arriveAt > dr.pinnedUntil {
-		dr.pinnedUntil = arriveAt
+	if arriveAt > r.sub.pinnedUntil[op.downstream] {
+		r.sub.pinnedUntil[op.downstream] = arriveAt
 	}
 	r.sub.stageArrival(arriveAt, op.downstream, op.downInPort, outVC, f)
 }
@@ -793,13 +799,13 @@ func (r *Router) traverse(now int64, p, v int, vc *vcState, o int, op *outputPor
 // without visiting steady-state routers.
 //
 //catnap:hotpath
-//catnap:worker-safe the power phase runs on worker goroutines under SetParallel; policy calls land there
+//catnap:worker-safe the power phase runs on worker goroutines under ExecMode.Parallel; policy calls land there
 func (r *Router) powerUpdate(now int64) {
 	cfg := r.sub.net.cfg
 	pol := r.sub.net.gating
 	ev := r.sub.events
 
-	switch r.state {
+	switch r.sub.pstate[r.node] {
 	case PowerWaking:
 		ev.ActiveRouterCycles++ // rail charging draws power
 		if now >= r.wakeAt {
@@ -815,7 +821,7 @@ func (r *Router) powerUpdate(now int64) {
 	}
 
 	ev.ActiveRouterCycles++
-	if r.TotalOccupancyScan() > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
+	if r.TotalOccupancyScan() > 0 || r.sub.pinnedUntil[r.node] > now || r.sub.net.niStreaming(r.sub.index, r.node) {
 		r.emptySince = now + 1
 		return
 	}
@@ -844,7 +850,7 @@ func (r *Router) powerUpdate(now int64) {
 //catnap:hotpath
 //catnap:worker-safe see powerUpdate: AllowSleep can be called from worker goroutines
 func (r *Router) powerCheck(now int64, blocked bool) {
-	if r.totalOcc > 0 || r.pinnedUntil > now || r.sub.net.niStreaming(r.sub.index, r.node) {
+	if r.totalOcc > 0 || r.sub.pinnedUntil[r.node] > now || r.sub.net.niStreaming(r.sub.index, r.node) {
 		if blocked {
 			r.sub.clearBlocked(r.node)
 		}
@@ -854,7 +860,7 @@ func (r *Router) powerCheck(now int64, blocked bool) {
 	if pol == nil {
 		return // SetGatingPolicy re-arms checks when a policy appears
 	}
-	idle := now - r.lastBusy
+	idle := now - r.sub.lastBusy[r.node]
 	if idle < int64(r.sub.net.cfg.TIdleDetect) {
 		if blocked {
 			r.sub.clearBlocked(r.node)

@@ -1,14 +1,8 @@
 package noc
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
-
-// Sharded router phase: the subnet-level parallelism of SetParallel is
+// Sharded router phase: the subnet-level parallelism of ExecMode.Parallel is
 // structurally load-imbalanced under Catnap's strict-priority selection
-// (subnet 0 carries almost all traffic), so SetShards additionally
+// (subnet 0 carries almost all traffic), so ExecMode.Shards additionally
 // partitions each subnet's router phase spatially into contiguous
 // row-bands stepped concurrently. Routers only read remote state that is
 // stable for the whole phase (downstream power states, credits of their
@@ -128,40 +122,29 @@ type shardTask struct {
 	shard int32
 }
 
-// SetShards partitions every subnet's router phase into k contiguous
-// row-band shards executed concurrently on a transient worker pool, with
-// all cross-router effects staged in per-shard commit queues and applied
-// in a fixed order after the barrier. Results are bit-identical to
-// sequential stepping at any k (the differential tests assert per-cycle
-// state-hash equality), so k is purely a throughput knob: use it when
-// load concentrates on few subnets and SetParallel alone cannot spread
-// the router phase across cores. k <= 0 disables sharding; k == 1 keeps
-// the staged machinery with a single band (useful for testing, pointless
-// for speed); k above the mesh row count leaves trailing shards empty.
+// applyShards is SetExecMode's sharding transition: it (re)builds or
+// tears down the shard plan and per-subnet commit queues when the count
+// changes. ExecMode.Shards partitions every subnet's router phase into k
+// contiguous row-band shards executed concurrently on the network's
+// worker pool, with all cross-router effects staged in per-shard commit
+// queues and applied in a fixed order after the barrier. Results are
+// bit-identical to sequential stepping at any k (the differential tests
+// assert per-cycle state-hash equality), so k is purely a throughput
+// knob: use it when load concentrates on few subnets and
+// ExecMode.Parallel alone cannot spread the router phase across cores.
+// k == 0 disables sharding; k == 1 keeps the staged machinery with a
+// single band (useful for testing, pointless for speed); k above the
+// mesh row count leaves trailing shards empty.
 //
-// Sharding composes with SetParallel (per-subnet commit/power work then
-// also fans out) and may be flipped mid-run between Steps. The reference
-// scan path (SetReferenceScan) takes precedence: while it is active the
-// network steps unsharded.
+// Sharding composes with ExecMode.Parallel (per-subnet commit/power work
+// then also fans out) and may be flipped mid-run between Steps. The
+// reference scan path (ExecMode.ReferenceScan) takes precedence: while
+// it is active the network steps unsharded.
 //
 // With sharding on, GatingPolicy, PowerTracer, and sink callbacks can be
 // invoked from worker goroutines rather than the caller's goroutine (see
-// SetParallel); the built-in policies are safe, custom implementations
-// must be race-free.
-//
-// Deprecated: configure via SetExecMode.
-func (n *Network) SetShards(k int) {
-	if k < 0 {
-		k = 0
-	}
-	m := n.ExecMode()
-	m.Shards = k
-	n.SetExecMode(m) //nolint:errcheck // k clamped non-negative, mode stays valid
-}
-
-// applyShards is SetExecMode's sharding transition: it (re)builds or
-// tears down the shard plan and per-subnet commit queues when the count
-// changes.
+// SetExecMode's concurrency contract); the built-in policies are safe,
+// custom implementations must be race-free.
 func (n *Network) applyShards(k int) {
 	if k == n.shardCount {
 		return
@@ -191,54 +174,20 @@ func (n *Network) applyShards(k int) {
 // Shards returns the configured shard count (0 when sharding is off).
 func (n *Network) Shards() int { return n.shardCount }
 
-// runTasks executes fn(0..n-1) on up to GOMAXPROCS goroutines including
-// the caller, claiming indices from a shared counter. Goroutines are
-// transient (spawned per call) so an idle network parks nothing; with a
-// single usable worker the loop runs inline with zero spawns.
-//
-//catnap:worker-pool the audited transient pool for the sharded router/commit phases
-func runTasks(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next int32
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for g := 0; g < workers-1; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt32(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	for {
-		i := int(atomic.AddInt32(&next, 1)) - 1
-		if i >= n {
-			break
-		}
-		fn(i)
-	}
-	wg.Wait()
-}
-
 // stepSharded is Step's router+power stage when sharding is enabled:
 // collect the non-empty (subnet, shard) tasks, run their router phases
 // concurrently with staging on, then apply every commit queue in shard
 // order and run the power phases. Commits must be applied before the
 // power phase — a traversal that empties a router can make its sleep
 // check due this very cycle when TIdleDetect is small.
+//
+// Dispatch goes through the network's reusable StepPool with the
+// pre-bound shardFn/commitFn closures (zero allocations per cycle).
+// Because the task list is built in ascending (subnet, shard) order and
+// the busy set is stable under steady load, affine dispatch
+// (ExecMode.ShardAffinity) keeps each shard's rows on the worker that
+// touched them last cycle; ExecMode.StealBatch tunes how greedily idle
+// workers take over a lagging worker's tail.
 //
 //catnap:hotpath the sharded per-cycle router+power stage
 func (n *Network) stepSharded(now int64) {
@@ -254,21 +203,13 @@ func (n *Network) stepSharded(now int64) {
 		}
 	}
 	n.shardTasks = tasks
-	//lint:ignore hotpathalloc sharded dispatch allocates one closure per cycle; the 0 B/cycle guard binds the default unsharded path
-	runTasks(len(tasks), func(i int) {
-		t := tasks[i]
-		n.subnets[t.sub].routerPhaseShard(now, int(t.shard))
-	})
+	n.phaseNow = now
+	n.pool.Run(len(tasks), n.affinity, n.stealBatch, n.shardFn)
 	for _, s := range n.subnets {
 		s.staging = false
 	}
 	if n.parallel {
-		//lint:ignore hotpathalloc sharded+parallel commit fan-out allocates one closure per cycle; see the dispatch note above
-		runTasks(len(n.subnets), func(i int) {
-			s := n.subnets[i]
-			s.applyCommits(now)
-			s.powerPhase(now)
-		})
+		n.pool.Run(len(n.subnets), false, 1, n.commitFn)
 		return
 	}
 	for _, s := range n.subnets {

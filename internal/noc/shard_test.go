@@ -11,7 +11,7 @@ import (
 )
 
 // The sharded-stepping differentials pin this PR's tentpole property:
-// the row-band sharded router phase (SetShards) must be bit-identical to
+// the row-band sharded router phase (ExecMode.Shards) must be bit-identical to
 // sequential incremental stepping — same per-cycle state hashes, same
 // power-event totals and transition sequences, same latency distribution,
 // CSC, and flit shares — for any shard count, including counts that do
@@ -76,7 +76,7 @@ func TestShardedMatchesSequentialLoads(t *testing.T) {
 }
 
 // TestShardedFlipMidRun toggles sharding on and off mid-run, alone and
-// combined with reference-scan and SetParallel flips. Any staged-state
+// combined with reference-scan and Parallel flips. Any staged-state
 // conversion bug (commit queues, work bitmaps, check wheels) shows up as
 // a divergence right after the flip cycle.
 func TestShardedFlipMidRun(t *testing.T) {
@@ -95,7 +95,7 @@ func TestShardedFlipMidRun(t *testing.T) {
 		sched: traffic.Fig12Bursts(), cycles: cycles})
 	compareFingerprints(t, "flip/shards+ref", shardedAll, combined, true)
 
-	// SetParallel flips while sharded: cross-subnet transition order is
+	// Parallel flips while sharded: cross-subnet transition order is
 	// nondeterministic during the parallel stretch, so compare sorted.
 	parFlip := diffRunWith(t, diffOpts{gating: "catnap", shards: 2,
 		sched: traffic.Fig12Bursts(), cycles: cycles, flipParallel: []int{800, 1600}})
@@ -118,7 +118,7 @@ func TestShardedParallelCombined(t *testing.T) {
 // with sharding and subnet-parallelism enabled simultaneously; under
 // `go test -race` (make check-race) it is the assertion that the
 // built-in policies, selector, detector, and telemetry tracer honor the
-// concurrency contract documented on SetParallel/SetShards.
+// concurrency contract documented on SetExecMode.
 func TestShardedBuiltinPoliciesRace(t *testing.T) {
 	const cycles = 1200
 	for _, gating := range []string{"catnap", "baseline", "none"} {
@@ -150,7 +150,9 @@ func shardedDrainRun(t *testing.T, shards int, deadline int64) drainResult {
 	net.AddObserver(det)
 	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
 	net.SetGatingPolicy(core.NewCatnapGating(det))
-	net.SetShards(shards)
+	if err := net.SetExecMode(noc.ExecMode{Shards: shards}); err != nil {
+		t.Fatal(err)
+	}
 	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, traffic.Constant(0.40), 7)
 	for i := 0; i < 1500; i++ {
 		gen.Tick(net.Now())

@@ -194,8 +194,8 @@ func TestIdleSkipObserverVeto(t *testing.T) {
 }
 
 // TestExecModeRoundTrip covers the consolidated execution-mode surface:
-// SetExecMode validates, applies, and reads back; the deprecated
-// per-knob setters remain equivalent shims over it.
+// SetExecMode validates, applies, and reads back every field, including
+// the shard-dispatch tuning knobs.
 func TestExecModeRoundTrip(t *testing.T) {
 	cfg := testConfig(4, 4, 2, 128)
 	net := newNet(t, cfg)
@@ -203,24 +203,43 @@ func TestExecModeRoundTrip(t *testing.T) {
 	if err := net.SetExecMode(noc.ExecMode{Shards: -1}); err == nil {
 		t.Error("SetExecMode accepted negative Shards")
 	}
+	if err := net.SetExecMode(noc.ExecMode{StealBatch: -1}); err == nil {
+		t.Error("SetExecMode accepted negative StealBatch")
+	}
+	if err := (noc.ExecMode{Shards: -3, StealBatch: 2}).Validate(); err == nil {
+		t.Error("Validate accepted negative Shards")
+	}
+	if err := (noc.ExecMode{StealBatch: 0}).Validate(); err != nil {
+		t.Errorf("Validate rejected StealBatch=0 (auto): %v", err)
+	}
+	if err := (noc.ExecMode{Shards: 8, ShardAffinity: true, StealBatch: 4}).Validate(); err != nil {
+		t.Errorf("Validate rejected a valid tuned mode: %v", err)
+	}
 
-	want := noc.ExecMode{Parallel: true, Shards: 2, PacketRecycling: true, IdleSkip: true}
-	if err := net.SetExecMode(want); err != nil {
+	for _, want := range []noc.ExecMode{
+		{Parallel: true, Shards: 2, PacketRecycling: true, IdleSkip: true},
+		{Shards: 3, ShardAffinity: true, StealBatch: 2},
+		{Shards: 1, StealBatch: 7, IdleSkip: true},
+		{ReferenceScan: true, IdleSkip: true},
+		{},
+	} {
+		if err := net.SetExecMode(want); err != nil {
+			t.Fatalf("SetExecMode(%+v): %v", want, err)
+		}
+		if got := net.ExecMode(); got != want {
+			t.Errorf("ExecMode round trip: got %+v, want %+v", got, want)
+		}
+	}
+
+	// A failed SetExecMode must not partially apply.
+	good := noc.ExecMode{Shards: 2, ShardAffinity: true}
+	if err := net.SetExecMode(good); err != nil {
 		t.Fatal(err)
 	}
-	if got := net.ExecMode(); got != want {
-		t.Errorf("ExecMode round trip: got %+v, want %+v", got, want)
+	if err := net.SetExecMode(noc.ExecMode{Shards: 4, StealBatch: -9}); err == nil {
+		t.Fatal("invalid mode accepted")
 	}
-
-	// The deprecated shims must read back through ExecMode like the
-	// consolidated setter.
-	net.SetReferenceScan(true)
-	net.SetShards(0)
-	net.SetParallel(false)
-	net.SetPacketRecycling(false)
-	got := net.ExecMode()
-	want = noc.ExecMode{ReferenceScan: true, IdleSkip: true}
-	if got != want {
-		t.Errorf("deprecated setters drifted from ExecMode: got %+v, want %+v", got, want)
+	if got := net.ExecMode(); got != good {
+		t.Errorf("rejected mode leaked through: got %+v, want %+v", got, good)
 	}
 }

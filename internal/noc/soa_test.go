@@ -1,0 +1,122 @@
+package noc_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/traffic"
+)
+
+// Multicore differentials for the struct-of-arrays hot-state layout and
+// the batched commit-queue apply: every combination of shard count,
+// dispatch tuning (ShardAffinity, StealBatch), and gating flavor must
+// reproduce the sequential incremental run bit for bit — including the
+// exact tracer event order, because the per-kind bulk appends in
+// applyCommits preserve each commit queue's FIFO order and queues are
+// applied in ascending shard order. The tests raise GOMAXPROCS so the
+// StepPool genuinely fans out even on constrained CI machines, and their
+// names match the check-race filter (Sharded|Flip) so the same matrix
+// runs under the race detector.
+
+// multicoreShardCounts is the issue's multicore matrix: a single band,
+// a non-dividing 3 (on 8 rows), 8 (= rows), and GOMAXPROCS, deduplicated.
+func multicoreShardCounts() []int {
+	counts := []int{1, 3, 8, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	out := counts[:0]
+	for _, k := range counts {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestShardedMulticoreTuningMatrix: shard counts × {affine, non-affine}
+// × steal granularities at GOMAXPROCS=8, against the sequential run.
+func TestShardedMulticoreTuningMatrix(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const cycles = 2000
+	seq := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Fig12Bursts(), cycles: cycles})
+	for _, k := range multicoreShardCounts() {
+		for _, tc := range []struct {
+			affinity   bool
+			stealBatch int
+		}{
+			{affinity: false, stealBatch: 0},
+			{affinity: true, stealBatch: 0},
+			{affinity: true, stealBatch: 2},
+			{affinity: false, stealBatch: 64},
+		} {
+			sharded := diffRunWith(t, diffOpts{gating: "catnap", shards: k,
+				affinity: tc.affinity, stealBatch: tc.stealBatch,
+				sched: traffic.Fig12Bursts(), cycles: cycles})
+			compareFingerprints(t, "multicore/tuning", seq, sharded, true)
+		}
+	}
+}
+
+// TestShardedMulticoreFlavors repeats the multicore differential across
+// the remaining gating flavors with affine batched dispatch.
+func TestShardedMulticoreFlavors(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const cycles = 2000
+	for _, gating := range []string{"baseline", "none"} {
+		seq := diffRunWith(t, diffOpts{gating: gating, sched: traffic.Fig12Bursts(), cycles: cycles})
+		sharded := diffRunWith(t, diffOpts{gating: gating, shards: 3,
+			affinity: true, stealBatch: 4,
+			sched: traffic.Fig12Bursts(), cycles: cycles})
+		compareFingerprints(t, "multicore/"+gating, seq, sharded, true)
+	}
+}
+
+// TestShardedMulticoreLoads covers the load extremes under affine
+// dispatch: low load exercises the mostly-empty task list (idle workers
+// spinning down), saturation exercises dense cross-shard traffic through
+// the batched commit apply.
+func TestShardedMulticoreLoads(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const cycles = 2000
+	for _, load := range []float64{0.02, 0.45} {
+		seq := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Constant(load), cycles: cycles})
+		sharded := diffRunWith(t, diffOpts{gating: "catnap", shards: 8,
+			affinity: true, stealBatch: 2,
+			sched: traffic.Constant(load), cycles: cycles})
+		compareFingerprints(t, "multicore/load", seq, sharded, true)
+	}
+}
+
+// TestShardedMulticoreTuningFlipMidRun rotates ShardAffinity and
+// StealBatch through SetExecMode mid-run, alone and while also toggling
+// the shard count: the tuning knobs must be pure dispatch policy with no
+// trace on simulated state.
+func TestShardedMulticoreTuningFlipMidRun(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const cycles = 2400
+	base := diffRunWith(t, diffOpts{gating: "catnap", shards: 3,
+		sched: traffic.Fig12Bursts(), cycles: cycles})
+
+	tuned := diffRunWith(t, diffOpts{gating: "catnap", shards: 3,
+		sched: traffic.Fig12Bursts(), cycles: cycles, flipTuning: []int{500, 1100, 1700}})
+	compareFingerprints(t, "flip/tuning", base, tuned, true)
+
+	combined := diffRunWith(t, diffOpts{gating: "catnap", shards: 3, affinity: true,
+		sched: traffic.Fig12Bursts(), cycles: cycles,
+		flipTuning: []int{600, 1400}, flipShards: []int{900, 1800}})
+	compareFingerprints(t, "flip/tuning+shards", base, combined, true)
+}
+
+// TestShardedMulticoreParallelCombined runs shards × affinity ×
+// ParallelSubnets at GOMAXPROCS=8 — the widest concurrent configuration;
+// under -race this is the SoA layout's data-race assertion (cross-subnet
+// transition order is nondeterministic, so compare sorted).
+func TestShardedMulticoreParallelCombined(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const cycles = 2000
+	seq := diffRunWith(t, diffOpts{gating: "catnap", sched: traffic.Fig12Bursts(), cycles: cycles})
+	wide := diffRunWith(t, diffOpts{gating: "catnap", shards: 8, parallel: true,
+		affinity: true, stealBatch: 2,
+		sched: traffic.Fig12Bursts(), cycles: cycles})
+	compareFingerprints(t, "multicore/parallel+sharded", seq, wide, false)
+}

@@ -103,6 +103,37 @@ type Subnet struct {
 	shardQueues []commitQueue
 	shardBusy   []int32
 	staging     bool
+
+	// Struct-of-arrays hot state (see DESIGN.md "Sharded router phase"):
+	// the per-router fields the VA/SA/ST and power passes touch every
+	// cycle live in flat per-subnet slices indexed by node id, so phase
+	// loops scan adjacent cache lines instead of pointer-chasing through
+	// ~500-byte Router structs, and a shard's rows stay resident on the
+	// worker that warmed them. Routers hold views into these arrays
+	// (Router.occ, outputPort.credits), which also keeps shard-phase
+	// writes receiver-rooted for the staging-discipline linter.
+	radix int
+	// pstate[n] is router n's power state (zero value == PowerActive).
+	pstate []PowerState
+	// occSlots[n] is router n's non-empty (port,VC) slot bitmask.
+	occSlots []uint64
+	// lastBusy[n] is the lazy last-busy cycle (incremental idle
+	// accounting); pinnedUntil[n] the latest in-flight arrival cycle.
+	lastBusy    []int64
+	pinnedUntil []int64
+	// outCredits is the flattened downstream-credit array, entry
+	// (n*radix+p)*VCs+v; linked output ports subslice it and the deliver
+	// phase drains credit returns into it without loading any router.
+	outCredits []int32
+	// Contiguous backing pools for every router's port, VC, flit-ring,
+	// VC-busy, and grant-scratch storage: one allocation per kind per
+	// subnet instead of O(nodes*radix) little ones.
+	inPool    []inputPort
+	outPool   []outputPort
+	vcPool    []vcState
+	flitPool  []flit
+	busyPool  []bool
+	grantPool []bool
 }
 
 func newSubnet(net *Network, index int) *Subnet {
@@ -128,11 +159,27 @@ func newSubnet(net *Network, index int) *Subnet {
 	checkSpan := cfg.TIdleDetect + 2
 	s.checkWheel = make([][]int32, checkSpan)
 	s.lastEpoch = ^uint64(0)
+	radix := net.topo.Radix()
+	s.radix = radix
+	nodes := cfg.Nodes()
+	s.pstate = make([]PowerState, nodes) // zero value: every router active
+	s.occSlots = make([]uint64, nodes)
+	s.lastBusy = make([]int64, nodes)
+	for n := range s.lastBusy {
+		s.lastBusy[n] = -1 // never busy yet: idle(now) == now+1 == now-emptySince+1
+	}
+	s.pinnedUntil = make([]int64, nodes)
+	s.inPool = make([]inputPort, nodes*radix)
+	s.outPool = make([]outputPort, nodes*radix)
+	s.vcPool = make([]vcState, nodes*radix*cfg.VCs)
+	s.flitPool = make([]flit, nodes*radix*cfg.VCs*cfg.VCDepth)
+	s.outCredits = make([]int32, nodes*radix*cfg.VCs)
+	s.busyPool = make([]bool, nodes*radix*cfg.VCs)
+	s.grantPool = make([]bool, nodes*radix)
 	for n := range s.routers {
 		s.routers[n].init(s, n)
 	}
 	// Build the reverse link table for credit returns.
-	radix := net.topo.Radix()
 	s.feeder = make([][]feederLink, cfg.Nodes())
 	for n := range s.feeder {
 		s.feeder[n] = make([]feederLink, radix)
@@ -191,8 +238,11 @@ func (s *Subnet) stageEject(at int64, node int, f flit) {
 func (s *Subnet) deliverPhase(now int64) {
 	i := s.slot(now)
 
+	// Credit returns drain straight into the flat credit array: no Router
+	// struct, port slice, or subslice header is touched.
+	vcs := s.net.cfg.VCs
 	for _, c := range s.credits[i] {
-		s.routers[c.node].out[c.port].credits[c.vc]++
+		s.outCredits[(c.node*s.radix+c.port)*vcs+c.vc]++
 	}
 	s.credits[i] = s.credits[i][:0]
 
@@ -228,10 +278,10 @@ func (s *Subnet) routerPhase(now int64) {
 		for w != 0 {
 			n := i<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			r := &s.routers[n]
-			if r.state != PowerActive {
+			if s.pstate[n] != PowerActive {
 				continue
 			}
+			r := &s.routers[n]
 			r.vcAllocate()
 			r.switchAllocate(now)
 		}
@@ -255,10 +305,10 @@ func (s *Subnet) routerPhaseShard(now int64, shard int) {
 		for w != 0 {
 			n := i<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			r := &s.routers[n]
-			if r.state != PowerActive {
+			if s.pstate[n] != PowerActive {
 				continue
 			}
+			r := &s.routers[n]
 			busy++
 			r.vcAllocate()
 			r.switchAllocate(now)
@@ -272,8 +322,16 @@ func (s *Subnet) routerPhaseShard(now int64, shard int) {
 // its effects in staging order, so the replay performs the exact write
 // sequence — wheel appends, pin updates, wakeups, busy-streak ends,
 // aggregate moves — the sequential router phase would have performed,
-// which is what makes sharded stepping bit-identical. Runs after the
-// barrier, single-threaded per subnet, before the power phase.
+// which is what makes sharded stepping bit-identical.
+//
+// The queue entry types are the wheel entry types, and every entry of a
+// kind lands in the same wheel slot (the delays are phase constants), so
+// each kind is applied as one bulk slice append instead of entry-at-a-
+// time re-staging; per-kind FIFO order — the only order the wheels can
+// observe — is preserved exactly. Only the order-sensitive effects
+// (pins, wake re-checks, idle transitions, histogram moves) remain
+// per-entry loops. Runs after the barrier, single-threaded per subnet,
+// before the power phase.
 //
 //catnap:hotpath
 //catnap:commit-apply the designated drain point for staged shard effects
@@ -281,31 +339,34 @@ func (s *Subnet) applyCommits(now int64) {
 	cfg := s.net.cfg
 	arriveAt := now + int64(cfg.LinkDelay)
 	creditAt := now + int64(cfg.CreditDelay)
+	ai := s.slot(arriveAt)
+	ci := s.slot(creditAt)
 	for k := range s.shardQueues {
 		cq := &s.shardQueues[k]
-		for _, c := range cq.credits {
-			s.stageCredit(creditAt, c.node, c.port, c.vc)
+		if len(cq.credits) > 0 {
+			s.credits[ci] = append(s.credits[ci], cq.credits...)
 		}
-		for _, c := range cq.niCredits {
-			s.stageNICredit(creditAt, c.node, c.vc)
+		if len(cq.niCredits) > 0 {
+			s.niCredits[ci] = append(s.niCredits[ci], cq.niCredits...)
 		}
-		for _, a := range cq.arrivals {
-			dr := &s.routers[a.node]
-			if arriveAt > dr.pinnedUntil {
-				dr.pinnedUntil = arriveAt
+		if len(cq.arrivals) > 0 {
+			for _, a := range cq.arrivals {
+				if arriveAt > s.pinnedUntil[a.node] {
+					s.pinnedUntil[a.node] = arriveAt
+				}
 			}
-			s.stageArrival(arriveAt, a.node, a.port, a.vc, a.f)
+			s.arrivals[ai] = append(s.arrivals[ai], cq.arrivals...)
 		}
-		for _, e := range cq.ejections {
-			s.stageEject(arriveAt, e.node, e.f)
+		if len(cq.ejections) > 0 {
+			s.ejections[ai] = append(s.ejections[ai], cq.ejections...)
 		}
 		for _, nid := range cq.wakes {
 			// First-encounter semantics: the sequential path wakes a
 			// sleeping downstream once and later blockers see it Waking.
 			// Staged requests recorded it Asleep phase-wide; the ordered
 			// re-check here fires only the first one.
-			if dr := &s.routers[nid]; dr.state == PowerAsleep {
-				dr.wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
+			if s.pstate[nid] == PowerAsleep {
+				s.routers[nid].wake(now, cfg.TWakeup-cfg.WakeupHidden, WakeLookAhead)
 				s.events.WakeupSignals++
 			}
 		}
@@ -333,10 +394,10 @@ func (s *Subnet) ShardBusy() []int32 { return s.shardBusy }
 //catnap:hotpath
 func (s *Subnet) routerPhaseScan(now int64) {
 	for n := range s.routers {
-		r := &s.routers[n]
-		if r.state != PowerActive {
+		if s.pstate[n] != PowerActive {
 			continue
 		}
+		r := &s.routers[n]
 		if r.TotalOccupancyScan() == 0 {
 			continue
 		}
@@ -352,7 +413,7 @@ func (s *Subnet) routerPhaseScan(now int64) {
 // O(1). Event order matches the reference scan: ascending node id.
 //
 //catnap:hotpath
-//catnap:worker-safe runs on worker goroutines under SetParallel/SetShards; WantWake calls land there
+//catnap:worker-safe runs on worker goroutines under ExecMode.Parallel/Shards; WantWake calls land there
 func (s *Subnet) powerPhase(now int64) {
 	if s.refScan {
 		s.powerPhaseScan(now)
@@ -406,21 +467,20 @@ func (s *Subnet) powerPhase(now int64) {
 		for w != 0 {
 			n := i<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
-			r := &s.routers[n]
-			switch r.state {
+			switch s.pstate[n] {
 			case PowerWaking:
-				if now >= r.wakeAt {
+				if r := &s.routers[n]; now >= r.wakeAt {
 					r.completeWake(now)
 				}
 			case PowerAsleep:
 				s.pollBits[n>>6] &^= 1 << (uint(n) & 63)
 				if pol != nil && pol.WantWake(now, s.index, n) {
-					r.wake(now, s.net.cfg.TWakeup, WakePolicy)
+					s.routers[n].wake(now, s.net.cfg.TWakeup, WakePolicy)
 				}
 			default: // PowerActive: a due check and/or a blocked re-eval
 				blocked := s.blockedBits[n>>6]&(1<<(uint(n)&63)) != 0
 				if due[n>>6]&(1<<(uint(n)&63)) != 0 || (evalAll && blocked) {
-					r.powerCheck(now, blocked)
+					s.routers[n].powerCheck(now, blocked)
 				}
 			}
 		}
@@ -481,7 +541,7 @@ func (s *Subnet) OccupiedBits() []uint64 { return s.occBits }
 // reference for consistency checks and differential tests.
 func (s *Subnet) PowerStatesScan() (active, waking, asleep int) {
 	for n := range s.routers {
-		switch s.routers[n].state {
+		switch s.pstate[n] {
 		case PowerActive:
 			active++
 		case PowerWaking:
@@ -595,7 +655,7 @@ func (s *Subnet) scheduleCheck(r *Router, now int64) {
 	if s.refScan || s.net.gating == nil {
 		return
 	}
-	at := r.lastBusy + int64(s.net.cfg.TIdleDetect)
+	at := s.lastBusy[r.node] + int64(s.net.cfg.TIdleDetect)
 	if at < now {
 		at = now
 	}
@@ -616,8 +676,8 @@ func (s *Subnet) rearmChecks(now int64) {
 		s.blockedBits[i] = 0
 	}
 	for n := range s.routers {
-		if r := &s.routers[n]; r.state == PowerActive {
-			s.scheduleCheck(r, now)
+		if s.pstate[n] == PowerActive {
+			s.scheduleCheck(&s.routers[n], now)
 		}
 	}
 }
@@ -650,10 +710,10 @@ func (s *Subnet) checkAggregates() string {
 			return "occBits inconsistent with occupancy"
 		}
 		inState := func(b []uint64) bool { return b[n>>6]&(1<<(uint(n)&63)) != 0 }
-		if inState(s.asleepBits) != (r.state == PowerAsleep) {
+		if inState(s.asleepBits) != (s.pstate[n] == PowerAsleep) {
 			return "asleepBits inconsistent with state"
 		}
-		if inState(s.wakingBits) != (r.state == PowerWaking) {
+		if inState(s.wakingBits) != (s.pstate[n] == PowerWaking) {
 			return "wakingBits inconsistent with state"
 		}
 	}

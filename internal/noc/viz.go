@@ -10,7 +10,7 @@ func (n *Network) PowerStateGrid(s int) string {
 	var b strings.Builder
 	cols := n.topo.Cols()
 	for node := 0; node < n.topo.Nodes(); node++ {
-		switch n.subnets[s].routers[node].state {
+		switch n.subnets[s].pstate[node] {
 		case PowerActive:
 			b.WriteByte('#')
 		case PowerWaking:

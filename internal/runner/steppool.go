@@ -1,0 +1,259 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StepPool runs bursts of small indexed tasks — fn(0..n-1) — on a set of
+// reusable worker goroutines. It exists for per-cycle fan-out in tight
+// simulation loops, where the two costs that dominate are goroutine
+// spawn/teardown and cross-core cache traffic:
+//
+//   - Workers are parked between bursts on a buffered wake channel and
+//     expire after an idle timeout, so a burst in steady state performs no
+//     goroutine creation, and an idle pool holds no goroutines at all.
+//   - Run allocates nothing: the task function must be a long-lived
+//     closure (re-binding per-burst state through fields it captures),
+//     and all per-burst bookkeeping lives in slices sized once at
+//     construction.
+//   - Affine bursts partition [0, n) into one contiguous index range per
+//     worker. Each worker drains its own range at granularity 1, then
+//     steals the tail of other workers' ranges in batches. With a stable
+//     task list across bursts, each index lands on the same worker every
+//     burst and the cache lines it touched stay on that core; batched
+//     stealing keeps the imbalance cleanup from ping-ponging lines one
+//     task at a time.
+//
+// A StepPool is for a single dispatching goroutine: concurrent Run calls
+// on one pool are not allowed. Task functions run concurrently with each
+// other and must be safe for that; the pool guarantees every fn(i) for
+// i < n happens before Run returns.
+type StepPool struct {
+	// maxWorkers caps the burst width, counting the caller (which always
+	// participates as worker 0). The effective width of a burst is
+	// min(maxWorkers, GOMAXPROCS, n).
+	maxWorkers int
+	// idleTimeout is how long a parked worker survives without a
+	// dispatch before its goroutine exits.
+	idleTimeout time.Duration
+
+	// ranges holds the per-worker claim cursors and bounds for the
+	// current burst; entry k is only meaningful for k < nranges.
+	ranges []stepRange
+	// fn / batch / nranges are the current burst's parameters, written by
+	// Run before any worker is woken (the wake-channel send orders the
+	// writes) and read-only during the burst.
+	fn      func(int)
+	batch   int32
+	nranges int
+
+	// wg counts helper workers still inside the current burst.
+	wg sync.WaitGroup
+
+	// mu guards parked. The lost-wakeup protocol between dispatch and
+	// idle expiry: Run pops a worker and sends its wake token while
+	// holding mu; a worker whose idle timer fired takes mu and checks its
+	// wake channel — a buffered token means a dispatch raced the timer
+	// and the worker must stay alive, an empty channel while still on the
+	// parked list means no dispatch can be in flight, so removing itself
+	// and exiting is safe.
+	mu     sync.Mutex
+	parked []*stepWorker
+}
+
+// stepRange is one worker's contiguous claim range for a burst. The
+// cursor is padded onto its own cache line: cursors are the only words
+// hammered by cross-worker atomics, and false sharing between them would
+// recreate exactly the ping-pong the affine layout avoids.
+type stepRange struct {
+	next int32 // atomic claim cursor in [lo, hi); overshoot past hi is harmless
+	hi   int32
+	_    [56]byte // pad to a cache line
+}
+
+// stepWorker is one parked worker goroutine. The wake channel carries the
+// worker's slot (its range index) for the next burst; capacity 1 makes
+// the dispatch send non-blocking and leaves the token observable to the
+// idle-expiry check.
+type stepWorker struct {
+	pool *StepPool
+	wake chan int
+}
+
+// NewStepPool builds a pool of up to maxWorkers concurrent workers
+// (including the calling goroutine). maxWorkers <= 0 means GOMAXPROCS at
+// construction time; idleTimeout <= 0 selects a default generous enough
+// to keep workers warm between back-to-back simulation cycles.
+func NewStepPool(maxWorkers int, idleTimeout time.Duration) *StepPool {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if idleTimeout <= 0 {
+		idleTimeout = 10 * time.Millisecond
+	}
+	return &StepPool{
+		maxWorkers:  maxWorkers,
+		idleTimeout: idleTimeout,
+		ranges:      make([]stepRange, maxWorkers),
+		parked:      make([]*stepWorker, 0, maxWorkers),
+	}
+}
+
+// Run executes fn(i) for every i in [0, n), returning when all calls have
+// completed. With affine true the index space is split into one
+// contiguous range per worker (stable across bursts of the same n and
+// width); with affine false all workers share a single range. batch is
+// the claim granularity used when taking work from a shared or foreign
+// range; own-range claims in affine mode always use granularity 1.
+// batch < 1 is treated as 1. When the effective width is 1 — small n,
+// GOMAXPROCS=1, or maxWorkers 1 — the loop runs inline with no atomics
+// and no goroutine wakeups.
+//
+//catnap:hotpath dispatched once per simulated cycle; steady state must not allocate
+func (p *StepPool) Run(n int, affine bool, batch int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.maxWorkers
+	if g := runtime.GOMAXPROCS(0); g < w {
+		w = g
+	}
+	if n < w {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	p.fn = fn
+	p.batch = int32(batch)
+	nr := 1
+	if affine {
+		nr = w
+	}
+	p.nranges = nr
+	for k := 0; k < nr; k++ {
+		p.ranges[k].next = int32(k * n / nr)
+		p.ranges[k].hi = int32((k + 1) * n / nr)
+	}
+	p.wg.Add(w - 1)
+	p.mu.Lock()
+	for slot := 1; slot < w; slot++ {
+		if k := len(p.parked) - 1; k >= 0 {
+			wk := p.parked[k]
+			p.parked[k] = nil
+			p.parked = p.parked[:k]
+			wk.wake <- slot
+		} else {
+			//lint:ignore hotpathalloc cold spawn path: runs only when no parked worker survives (first burst, or after idle expiry)
+			wk := &stepWorker{pool: p, wake: make(chan int, 1)}
+			wk.wake <- slot
+			go wk.run()
+		}
+	}
+	p.mu.Unlock()
+	p.work(0)
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// work is one worker's share of the current burst: drain the own range
+// (granularity 1 when affine), then sweep the other ranges in batches.
+// One sweep suffices — no work is added mid-burst and each visited range
+// is drained completely, so after the sweep every range this worker could
+// help with is empty.
+//
+//catnap:hotpath
+func (p *StepPool) work(slot int) {
+	nr := p.nranges
+	if nr == 1 {
+		p.drain(&p.ranges[0])
+		return
+	}
+	own := &p.ranges[slot]
+	for {
+		i := atomic.AddInt32(&own.next, 1) - 1
+		if i >= own.hi {
+			break
+		}
+		p.fn(int(i))
+	}
+	for k := 1; k < nr; k++ {
+		p.drain(&p.ranges[(slot+k)%nr])
+	}
+}
+
+// drain claims and runs batches from r until it is exhausted. Claim
+// overshoot (the cursor advancing past hi on a failed claim) is fine: the
+// cursor is never read as a count, only compared against hi.
+//
+//catnap:hotpath
+func (p *StepPool) drain(r *stepRange) {
+	batch := p.batch
+	for {
+		i := atomic.AddInt32(&r.next, batch) - batch
+		if i >= r.hi {
+			return
+		}
+		hi := i + batch
+		if hi > r.hi {
+			hi = r.hi
+		}
+		for j := i; j < hi; j++ {
+			p.fn(int(j))
+		}
+	}
+}
+
+// run is the worker goroutine loop: alternate between bursts and parked
+// waiting, exiting after idleTimeout without a dispatch. Reparking
+// happens before wg.Done so that when Run returns, every surviving
+// helper is already back on the parked list — the next burst finds them
+// instead of spawning replacements.
+func (w *stepWorker) run() {
+	p := w.pool
+	idle := time.NewTimer(p.idleTimeout)
+	defer idle.Stop()
+	for {
+		select {
+		case slot := <-w.wake:
+			p.work(slot)
+			p.mu.Lock()
+			p.parked = append(p.parked, w)
+			p.mu.Unlock()
+			p.wg.Done()
+			if !idle.Stop() {
+				<-idle.C
+			}
+			idle.Reset(p.idleTimeout)
+		case <-idle.C:
+			p.mu.Lock()
+			if len(w.wake) > 0 {
+				// A dispatch raced the timer: the token is already in the
+				// channel, so the worker must run that burst.
+				p.mu.Unlock()
+				idle.Reset(p.idleTimeout)
+				continue
+			}
+			for i := range p.parked {
+				if p.parked[i] == w {
+					last := len(p.parked) - 1
+					p.parked[i] = p.parked[last]
+					p.parked[last] = nil
+					p.parked = p.parked[:last]
+					break
+				}
+			}
+			p.mu.Unlock()
+			return
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStepPoolRunsEveryIndexOnce: across widths, affinities, and batch
+// sizes, fn(i) runs exactly once per index.
+func TestStepPoolRunsEveryIndexOnce(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, affine := range []bool{false, true} {
+				for _, batch := range []int{0, 1, 4, 1 << 20} {
+					p := NewStepPool(workers, time.Millisecond)
+					counts := make([]int32, n)
+					for rep := 0; rep < 3; rep++ {
+						p.Run(n, affine, batch, func(i int) {
+							atomic.AddInt32(&counts[i], 1)
+						})
+					}
+					for i, c := range counts {
+						if c != 3 {
+							t.Fatalf("workers=%d n=%d affine=%v batch=%d: index %d ran %d times, want 3",
+								workers, n, affine, batch, i, c)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepPoolInlineWhenSingle: with one worker the loop runs on the
+// calling goroutine — no helper goroutines are ever parked.
+func TestStepPoolInlineWhenSingle(t *testing.T) {
+	p := NewStepPool(1, time.Minute)
+	ran := 0
+	p.Run(100, true, 8, func(i int) { ran++ })
+	if ran != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran)
+	}
+	p.mu.Lock()
+	parked := len(p.parked)
+	p.mu.Unlock()
+	if parked != 0 {
+		t.Fatalf("%d workers parked after inline run, want 0", parked)
+	}
+}
+
+// TestStepPoolWorkersExpire: parked workers exit after the idle timeout
+// and a later burst still works (it respawns).
+func TestStepPoolWorkersExpire(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	p := NewStepPool(4, 5*time.Millisecond)
+	var ran int32
+	p.Run(64, true, 1, func(i int) { atomic.AddInt32(&ran, 1) })
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p.mu.Lock()
+		parked := len(p.parked)
+		p.mu.Unlock()
+		if parked == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers still parked long after the idle timeout", parked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Run(64, true, 1, func(i int) { atomic.AddInt32(&ran, 1) })
+	if got := atomic.LoadInt32(&ran); got != 128 {
+		t.Fatalf("ran %d tasks across expiry, want 128", got)
+	}
+}
+
+// TestStepPoolWorkerReuse: back-to-back bursts find the helpers parked
+// again — the parked count right after Run equals the burst's helper
+// count, burst after burst.
+func TestStepPoolWorkerReuse(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	p := NewStepPool(4, time.Minute)
+	for rep := 0; rep < 50; rep++ {
+		p.Run(64, true, 2, func(i int) {})
+		p.mu.Lock()
+		parked := len(p.parked)
+		p.mu.Unlock()
+		if parked != 3 {
+			t.Fatalf("rep %d: %d workers parked after burst, want 3", rep, parked)
+		}
+	}
+}
+
+// TestStepPoolZeroAlloc: a warmed pool dispatches a burst without
+// allocating — the property the simulator's 0 B/cycle guard depends on.
+func TestStepPoolZeroAlloc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	p := NewStepPool(4, time.Minute)
+	var sink int64
+	fn := func(i int) { atomic.AddInt64(&sink, int64(i)) }
+	p.Run(64, true, 2, fn) // warm: spawn workers once
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.Run(64, true, 2, fn)
+	}); allocs != 0 {
+		t.Fatalf("warm Run allocates %.1f times per burst, want 0", allocs)
+	}
+}
+
+// TestStepPoolConcurrentTasks: tasks genuinely overlap when width > 1
+// (two tasks each wait for the other to start).
+func TestStepPoolConcurrentTasks(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	p := NewStepPool(2, time.Minute)
+	var entered int32
+	done := make(chan struct{})
+	go func() {
+		p.Run(2, false, 1, func(i int) {
+			atomic.AddInt32(&entered, 1)
+			for atomic.LoadInt32(&entered) < 2 {
+				runtime.Gosched()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tasks never overlapped: pool is not running them concurrently")
+	}
+}

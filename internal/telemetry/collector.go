@@ -44,7 +44,7 @@ const (
 	// busy-router series: routers that ran VA/SA work in one row-band
 	// shard per window, per subnet, with the shard index appended to the
 	// metric name ("noc.shard_busy_router_cycles.3"). The series exist
-	// only when the network steps sharded (Network.SetShards > 1) at the
+	// only when the network steps sharded (noc.ExecMode.Shards > 1) at the
 	// time the collector is built — configure sharding before attaching
 	// telemetry — and are the load-balance view of the sharded router
 	// phase (a shard stuck at 0 while others saturate means the row

@@ -33,7 +33,7 @@ type MetricPoint struct {
 
 // Counter is a monotonically increasing total. Add is atomic because
 // power and congestion callbacks may arrive from per-subnet goroutines
-// under noc.Network.SetParallel.
+// under noc.ExecMode.Parallel.
 type Counter struct {
 	name   string
 	subnet int

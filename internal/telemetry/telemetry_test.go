@@ -210,7 +210,10 @@ func TestShardBusySeries(t *testing.T) {
 	net.AddObserver(det)
 	net.SetSelector(core.NewCatnapSelector(det, cfg.Nodes()))
 	net.SetGatingPolicy(core.NewCatnapGating(det))
-	net.SetShards(2) // before Attach: the collector sizes its series then
+	// Shard before Attach: the collector sizes its series then.
+	if err := net.SetExecMode(noc.ExecMode{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
 	rec := telemetry.NewRecorder(telemetry.Options{Window: window})
 	rec.Attach(net, det, "shards")
 	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, burstSchedule(), 42)
@@ -346,7 +349,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	var mp [2][]telemetry.MetricPoint
 	for i, par := range []bool{false, true} {
 		net, gen, rec := buildInstrumented(t, false, telemetry.Options{Window: 50, RingCap: 1 << 16})
-		net.SetParallel(par)
+		if err := net.SetExecMode(noc.ExecMode{Parallel: par}); err != nil {
+			t.Fatal(err)
+		}
 		run(net, gen, 1000)
 		ev[i] = map[telemetry.Event]int{}
 		for _, e := range rec.Log().Events() {

@@ -123,9 +123,13 @@ func New(cfg Config) (*Simulator, error) {
 	// only the Payload), so packet structs are recycled through per-NI
 	// freelists. Custom sinks added via Net.AddSink must not retain a
 	// *Packet past the callback.
+	// Shard-affine dispatch is on whenever sharding is: the Simulator's
+	// workloads step the same busy set cycle after cycle, which is
+	// exactly the access pattern affinity rewards.
 	if err := net.SetExecMode(noc.ExecMode{
 		Parallel:        cfg.ParallelSubnets,
 		Shards:          shards,
+		ShardAffinity:   shards > 0,
 		PacketRecycling: true,
 		IdleSkip:        !cfg.NoIdleSkip,
 	}); err != nil {
@@ -260,19 +264,6 @@ func (s *Simulator) SetExecMode(m noc.ExecMode) error {
 
 // ExecMode returns the currently applied execution mode.
 func (s *Simulator) ExecMode() noc.ExecMode { return s.Net.ExecMode() }
-
-// SetReferenceScan switches this simulator's network and congestion
-// detector (if any) to the retained O(nodes) scan-based stepping path,
-// or back. Results are bit-identical either way; the reference path
-// exists for differential tests and as the honest pre-optimization
-// baseline in make bench-core.
-//
-// Deprecated: configure via SetExecMode.
-func (s *Simulator) SetReferenceScan(on bool) {
-	m := s.ExecMode()
-	m.ReferenceScan = on
-	s.SetExecMode(m) //nolint:errcheck // single-bool change over a valid mode cannot fail
-}
 
 // Step advances one cycle, ticking the synthetic generator if attached.
 func (s *Simulator) Step() {
