@@ -73,11 +73,17 @@ bench-core:
 # previous snapshot with cmd/catnap-benchdiff, which understands the
 # BENCH_core.json schema including the per-GOMAXPROCS point matrix (and
 # tolerates baselines from before the matrix existed). First run saves
-# the baseline; later runs print per-scenario and per-GOMAXPROCS deltas.
+# the baseline; later runs print per-scenario and per-GOMAXPROCS deltas
+# and FAIL (exit 1) if any fast arm — scenario headline or individual
+# GOMAXPROCS point — slowed down by more than BENCH_FAIL_OVER percent,
+# or if baseline coverage was dropped. Override the threshold per run:
+# `make bench-compare BENCH_FAIL_OVER=50` (generous default because
+# min-of-5 wall-clock numbers on shared machines are noisy).
+BENCH_FAIL_OVER ?= 35
 bench-compare:
 	CORE_BENCH=1 BENCH_CORE_OUT=bench_core_new.json $(GO) test -run TestCoreBenchGuard -count=1 -timeout 30m .
 	@if [ -f bench_core_old.json ]; then \
-		$(GO) run ./cmd/catnap-benchdiff bench_core_old.json bench_core_new.json; \
+		$(GO) run ./cmd/catnap-benchdiff -fail-over $(BENCH_FAIL_OVER) bench_core_old.json bench_core_new.json; \
 	else \
 		cp bench_core_new.json bench_core_old.json; \
 		echo "bench-compare: saved baseline to bench_core_old.json; rerun after changes to compare."; \

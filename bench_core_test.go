@@ -14,17 +14,22 @@ package catnap
 // bytes/cycle, sharded stepping must not allocate more per cycle than
 // sequential stepping, the sharded saturation scenario must beat
 // sequential stepping 3x at GOMAXPROCS=8 when enough physical cores
-// exist, and idle fast-forward must beat stepping the same idle span
-// 100x.
+// exist, idle fast-forward must beat stepping the same idle span
+// 100x, and the explore-cached scenario (a small real campaign rerun
+// against a warm result cache versus a cold one) must show at least a
+// 20x warm-over-cold win with byte-identical frontiers.
 //
 // All measurements cover the steady state only: simulator construction
 // and warmup run outside the timed (and allocation-counted) window, so
 // ns/cycle and bytes/cycle are pure stepping costs.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -151,6 +156,113 @@ func BenchmarkStep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// exploreBenchOpts is the explore-cached scenario's campaign: a small
+// grid of real simulations at the core-bench per-point scale, so the
+// cold arm's cost is dominated by simulation exactly like a user
+// campaign.
+func exploreBenchOpts(cacheDir string) ExperimentOpts {
+	return ExperimentOpts{
+		Scale: Scale{Warmup: coreBenchWarmup, Measure: coreBenchMeasure},
+		Explore: ExploreOpts{
+			Space: ExploreSpace{
+				Subnets:    []int{1, 4},
+				Widths:     []int{128, 512},
+				VCDepths:   []int{4},
+				TIdles:     []int{4},
+				Metrics:    []string{"BFM"},
+				Thresholds: []float64{0, 2},
+			},
+			Grid:     true,
+			CacheDir: cacheDir,
+		},
+	}
+}
+
+// runExploreCachedScenario measures the result cache's campaign-rerun
+// win: the identical point set evaluated cold (fresh cache directory,
+// every point simulated) versus warm (pre-populated directory, every
+// point a cache hit), min-of-reps wall clock for both arms. The fronts
+// must be byte-identical — the warm arm is only a win if it is also
+// exactly right. The row's "cycles" are the campaign's total simulated
+// cycles, so ns/cycle stays comparable across report rows; RefMode
+// "cold-cache" marks the baseline arm.
+func runExploreCachedScenario(t *testing.T, reps int) coreBenchRow {
+	t.Helper()
+	base := t.TempDir()
+	warmDir := filepath.Join(base, "warm")
+	totalCycles := float64((coreBenchWarmup + coreBenchMeasure) * 8)
+
+	runOnce := func(dir string) (time.Duration, uint64, *ExploreResult) {
+		o := exploreBenchOpts(dir)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		r, err := RunExplore(context.Background(), o)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			t.Fatalf("explore-cached campaign: %v", err)
+		}
+		return elapsed, ms1.TotalAlloc - ms0.TotalAlloc, r
+	}
+
+	// Prime the warm directory (uncounted) and keep its front as the
+	// reference serialization.
+	_, _, primed := runOnce(warmDir)
+	var want bytes.Buffer
+	if err := primed.WriteFront(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	coldNs, warmNs := time.Duration(1<<63-1), time.Duration(1<<63-1)
+	coldBytes, warmBytes := uint64(1<<64-1), uint64(1<<64-1)
+	for r := 0; r < reps; r++ {
+		coldElapsed, coldAlloc, coldRes := runOnce(filepath.Join(base, fmt.Sprintf("cold-%d", r)))
+		if coldRes.Cache.Hits != 0 || coldRes.Cache.Misses != coldRes.Proposed {
+			t.Fatalf("cold arm not actually cold: %+v", coldRes.Cache)
+		}
+		warmElapsed, warmAlloc, warmRes := runOnce(warmDir)
+		if warmRes.Cache.Misses != 0 || warmRes.Cache.Hits != warmRes.Proposed {
+			t.Fatalf("warm arm not fully cached: %+v", warmRes.Cache)
+		}
+		var cold, warm bytes.Buffer
+		if err := coldRes.WriteFront(&cold); err != nil {
+			t.Fatal(err)
+		}
+		if err := warmRes.WriteFront(&warm); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cold.Bytes(), want.Bytes()) || !bytes.Equal(warm.Bytes(), want.Bytes()) {
+			t.Fatal("explore-cached arms produced different frontiers")
+		}
+		if coldElapsed < coldNs {
+			coldNs = coldElapsed
+		}
+		if warmElapsed < warmNs {
+			warmNs = warmElapsed
+		}
+		if coldAlloc < coldBytes {
+			coldBytes = coldAlloc
+		}
+		if warmAlloc < warmBytes {
+			warmBytes = warmAlloc
+		}
+	}
+
+	row := coreBenchRow{
+		FastNsPerCycle:    float64(warmNs.Nanoseconds()) / totalCycles,
+		RefNsPerCycle:     float64(coldNs.Nanoseconds()) / totalCycles,
+		FastBytesPerCycle: float64(warmBytes) / totalCycles,
+		RefBytesPerCycle:  float64(coldBytes) / totalCycles,
+		RefMode:           "cold-cache",
+	}
+	row.Speedup = row.RefNsPerCycle / row.FastNsPerCycle
+	t.Logf("%-26s warm %8.1f ns/cycle %7.1f B/cycle  cold %8.1f ns/cycle %7.1f B/cycle  speedup %.2fx",
+		"explore-cached", row.FastNsPerCycle, row.FastBytesPerCycle,
+		row.RefNsPerCycle, row.RefBytesPerCycle, row.Speedup)
+	return row
 }
 
 // gmpPoint is one GOMAXPROCS level of a sharded scenario's fast arm: the
@@ -325,6 +437,8 @@ func TestCoreBenchGuard(t *testing.T) {
 		}
 	}
 
+	report.Scenarios["explore-cached"] = runExploreCachedScenario(t, reps)
+
 	out := os.Getenv("BENCH_CORE_OUT")
 	if out == "" {
 		out = "BENCH_core.json"
@@ -347,6 +461,10 @@ func TestCoreBenchGuard(t *testing.T) {
 	}
 	if row := report.Scenarios["idle-skip"]; row.Speedup < 100 {
 		t.Errorf("idle-skip speedup %.2fx below the 100x guard (fast %.1f ns/cycle, sequential %.1f ns/cycle)",
+			row.Speedup, row.FastNsPerCycle, row.RefNsPerCycle)
+	}
+	if row := report.Scenarios["explore-cached"]; row.Speedup < 20 {
+		t.Errorf("explore-cached speedup %.2fx below the 20x guard (warm %.1f ns/cycle, cold %.1f ns/cycle): the result cache must make campaign reruns nearly free",
 			row.Speedup, row.FastNsPerCycle, row.RefNsPerCycle)
 	}
 	// Alloc parity: the sharded dispatch path (pool fan-out, steal cursors,

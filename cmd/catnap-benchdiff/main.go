@@ -10,14 +10,18 @@
 //	catnap-benchdiff [-fail-over PCT] old.json new.json
 //
 // With -fail-over set, the exit status is 1 if any scenario's fast arm
-// (or any GOMAXPROCS point) slowed down by more than PCT percent;
-// otherwise the tool is report-only.
+// (or any GOMAXPROCS point) slowed down by more than PCT percent, or if
+// a scenario or GOMAXPROCS point present in the baseline is missing
+// from the new report — a silently narrowed matrix is a regression in
+// coverage even when every surviving number improved. Without
+// -fail-over the tool is report-only.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -75,8 +79,96 @@ func pct(oldV, newV float64) float64 {
 	return (newV - oldV) / oldV * 100
 }
 
+// diff writes the full comparison to w and reports whether the new
+// report regressed: a fast arm (scenario or GOMAXPROCS point) slower by
+// more than failOver percent, or baseline coverage (a scenario or a
+// GOMAXPROCS point) dropped from the new report. failOver <= 0 means
+// report-only — nothing regresses.
+func diff(w io.Writer, oldR, newR benchReport, failOver float64) bool {
+	if oldR.Cycles != newR.Cycles || oldR.Reps != newR.Reps {
+		fmt.Fprintf(w, "note: window mismatch (old %d cycles x%d reps, new %d cycles x%d reps); deltas compare different workloads\n",
+			oldR.Cycles, oldR.Reps, newR.Cycles, newR.Reps)
+	}
+	fmt.Fprintf(w, "old: GOMAXPROCS=%d NumCPU=%d   new: GOMAXPROCS=%d NumCPU=%d\n",
+		oldR.GOMAXPROCS, oldR.NumCPU, newR.GOMAXPROCS, newR.NumCPU)
+	fmt.Fprintf(w, "%-26s %22s %18s %18s\n", "scenario", "fast ns/cycle", "fast B/cycle", "speedup")
+
+	names := make([]string, 0, len(newR.Scenarios))
+	for name := range newR.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	row := func(label string, oldOK bool, oldNs, newNs, oldBy, newBy, oldSp, newSp float64) {
+		if !oldOK {
+			fmt.Fprintf(w, "%-26s %12.1f (new)    %10.1f (new)  %8.2fx (new)\n", label, newNs, newBy, newSp)
+			return
+		}
+		d := pct(oldNs, newNs)
+		if failOver > 0 && d > failOver {
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-26s %8.1f -> %8.1f (%+6.1f%%) %6.1f -> %6.1f  %5.2fx -> %5.2fx\n",
+			label, oldNs, newNs, d, oldBy, newBy, oldSp, newSp)
+	}
+
+	for _, name := range names {
+		n := newR.Scenarios[name]
+		o, ok := oldR.Scenarios[name]
+		row(name, ok, o.FastNsPerCycle, n.FastNsPerCycle,
+			o.FastBytesPerCycle, n.FastBytesPerCycle, o.Speedup, n.Speedup)
+		covered := make(map[int]bool, len(n.GOMAXPROCSPoints))
+		for _, np := range n.GOMAXPROCSPoints {
+			covered[np.GOMAXPROCS] = true
+			var op gmpPoint
+			opOK := false
+			if ok {
+				for _, p := range o.GOMAXPROCSPoints {
+					if p.GOMAXPROCS == np.GOMAXPROCS {
+						op, opOK = p, true
+						break
+					}
+				}
+			}
+			row(fmt.Sprintf("  GOMAXPROCS=%d", np.GOMAXPROCS), opOK,
+				op.FastNsPerCycle, np.FastNsPerCycle,
+				op.FastBytesPerCycle, np.FastBytesPerCycle, op.Speedup, np.Speedup)
+		}
+		// A GOMAXPROCS point the baseline measured but the new report
+		// doesn't is lost multicore coverage, not an improvement.
+		for _, op := range o.GOMAXPROCSPoints {
+			if !covered[op.GOMAXPROCS] {
+				fmt.Fprintf(w, "  GOMAXPROCS=%-13d dropped from new report (was %.1f ns/cycle)\n",
+					op.GOMAXPROCS, op.FastNsPerCycle)
+				if failOver > 0 {
+					regressed = true
+				}
+			}
+		}
+	}
+	dropped := make([]string, 0)
+	for name := range oldR.Scenarios {
+		if _, ok := newR.Scenarios[name]; !ok {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(w, "%-26s dropped from new report\n", name)
+		if failOver > 0 {
+			regressed = true
+		}
+	}
+
+	if regressed {
+		fmt.Fprintf(w, "catnap-benchdiff: regression — a fast arm slowed down by more than %.1f%% or baseline coverage was dropped\n", failOver)
+	}
+	return regressed
+}
+
 func main() {
-	failOver := flag.Float64("fail-over", 0, "exit 1 if any fast arm slows down by more than this percent (0 = report only)")
+	failOver := flag.Float64("fail-over", 0, "exit 1 if any fast arm slows down by more than this percent or baseline coverage is dropped (0 = report only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: catnap-benchdiff [-fail-over PCT] old.json new.json")
@@ -92,64 +184,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "catnap-benchdiff:", err)
 		os.Exit(2)
 	}
-
-	if oldR.Cycles != newR.Cycles || oldR.Reps != newR.Reps {
-		fmt.Printf("note: window mismatch (old %d cycles x%d reps, new %d cycles x%d reps); deltas compare different workloads\n",
-			oldR.Cycles, oldR.Reps, newR.Cycles, newR.Reps)
-	}
-	fmt.Printf("old: GOMAXPROCS=%d NumCPU=%d   new: GOMAXPROCS=%d NumCPU=%d\n",
-		oldR.GOMAXPROCS, oldR.NumCPU, newR.GOMAXPROCS, newR.NumCPU)
-	fmt.Printf("%-26s %22s %18s %18s\n", "scenario", "fast ns/cycle", "fast B/cycle", "speedup")
-
-	names := make([]string, 0, len(newR.Scenarios))
-	for name := range newR.Scenarios {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	regressed := false
-	row := func(label string, oldOK bool, oldNs, newNs, oldBy, newBy, oldSp, newSp float64) {
-		if !oldOK {
-			fmt.Printf("%-26s %12.1f (new)    %10.1f (new)  %8.2fx (new)\n", label, newNs, newBy, newSp)
-			return
-		}
-		d := pct(oldNs, newNs)
-		if *failOver > 0 && d > *failOver {
-			regressed = true
-		}
-		fmt.Printf("%-26s %8.1f -> %8.1f (%+6.1f%%) %6.1f -> %6.1f  %5.2fx -> %5.2fx\n",
-			label, oldNs, newNs, d, oldBy, newBy, oldSp, newSp)
-	}
-
-	for _, name := range names {
-		n := newR.Scenarios[name]
-		o, ok := oldR.Scenarios[name]
-		row(name, ok, o.FastNsPerCycle, n.FastNsPerCycle,
-			o.FastBytesPerCycle, n.FastBytesPerCycle, o.Speedup, n.Speedup)
-		for _, np := range n.GOMAXPROCSPoints {
-			var op gmpPoint
-			opOK := false
-			if ok {
-				for _, p := range o.GOMAXPROCSPoints {
-					if p.GOMAXPROCS == np.GOMAXPROCS {
-						op, opOK = p, true
-						break
-					}
-				}
-			}
-			row(fmt.Sprintf("  GOMAXPROCS=%d", np.GOMAXPROCS), opOK,
-				op.FastNsPerCycle, np.FastNsPerCycle,
-				op.FastBytesPerCycle, np.FastBytesPerCycle, op.Speedup, np.Speedup)
-		}
-	}
-	for name := range oldR.Scenarios {
-		if _, ok := newR.Scenarios[name]; !ok {
-			fmt.Printf("%-26s dropped from new report\n", name)
-		}
-	}
-
-	if regressed {
-		fmt.Printf("catnap-benchdiff: at least one fast arm slowed down by more than %.1f%%\n", *failOver)
+	if diff(os.Stdout, oldR, newR, *failOver) {
 		os.Exit(1)
 	}
 }

@@ -72,6 +72,10 @@ type ExperimentOpts struct {
 	// points with Jobs, few big points (fig12-style time series, app
 	// workloads) with SimWorkers.
 	SimWorkers int
+	// Explore parameterizes the "explore" design-space search (space,
+	// budget, sampling mode, cache and checkpoint paths); other
+	// experiments ignore it.
+	Explore ExploreOpts
 	// Sweep configures the parallel engine (worker count, per-point
 	// timeout, progress reporting).
 	Sweep SweepOptions
@@ -124,6 +128,9 @@ func (o ExperimentOpts) Validate() error {
 	}
 	if o.Window > 0 && o.Total > 0 && o.Window > o.Total {
 		return fmt.Errorf("catnap: ExperimentOpts.Window = %d, want <= Total (%d cycles)", o.Window, o.Total)
+	}
+	if err := o.Explore.validate("ExperimentOpts.Explore"); err != nil {
+		return err
 	}
 	if o.SimWorkers < -1 {
 		return fmt.Errorf("catnap: ExperimentOpts.SimWorkers = %d, want >= -1 (0 = off, -1 = GOMAXPROCS shards)", o.SimWorkers)

@@ -9,6 +9,7 @@ package congestion
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"github.com/catnap-noc/catnap/internal/noc"
 )
@@ -39,6 +40,27 @@ const (
 
 // ValidKind reports whether k names a known metric.
 func ValidKind(k MetricKind) bool { return k >= BFM && k <= Delay }
+
+// KindByName resolves a metric by its paper name ("BFM", "BFA", "IR",
+// "IQOcc", "Delay"); the error lists the valid names.
+func KindByName(name string) (MetricKind, error) {
+	for k := BFM; k <= Delay; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("congestion: unknown metric %q (valid: %s)", name, KindNames())
+}
+
+// KindNames returns the space-separated list of metric names in kind
+// order, for error messages and CLI usage text.
+func KindNames() string {
+	names := make([]string, 0, int(Delay)+1)
+	for k := BFM; k <= Delay; k++ {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, " ")
+}
 
 // String returns the paper's name for the metric.
 func (k MetricKind) String() string {

@@ -1,0 +1,161 @@
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointVersion guards the on-disk checkpoint schema.
+const checkpointVersion = 1
+
+// checkpoint is the atomically snapshotted campaign state: everything
+// needed to continue a killed campaign bit-identically. The cache holds
+// the expensive part (evaluated samples); the checkpoint holds the
+// cheap-but-stateful part — the frontier, the sampling cursor (round
+// number; each round derives its RNG from the campaign seed and the
+// round), the set of already-proposed points, and the pending batch that
+// was proposed but possibly not fully committed when the process died.
+type checkpoint struct {
+	Version int `json:"version"`
+	// Identity is the campaign identity hash (space + eval params + seed
+	// + mode + batch size). A checkpoint from a different campaign is
+	// rejected rather than silently continued.
+	Identity string `json:"identity"`
+	// Round is the sampling round the pending batch belongs to.
+	Round int `json:"round"`
+	// Evaluated counts points committed to the frontier so far.
+	Evaluated int64 `json:"evaluated"`
+	// Infeasible and Failures count committed points that were kept out
+	// of the frontier (saturated / errored).
+	Infeasible int64 `json:"infeasible"`
+	Failures   int64 `json:"failures"`
+	// Seen is the delta-varint + base64 encoding of every flat index
+	// proposed in committed rounds (sorted). Commit is idempotent via
+	// this set, which is what makes kill-at-any-instant lossless.
+	Seen string `json:"seen"`
+	// Pending is the proposed-but-uncommitted batch, in commit order.
+	Pending []int64 `json:"pending"`
+	// Front is the frontier after the last committed batch.
+	Front []Point `json:"front"`
+	// FrontHash double-checks the frontier decoded from Front.
+	FrontHash string `json:"front_hash"`
+}
+
+// identity hashes everything that fixes a campaign's point sequence.
+// Budget is deliberately excluded: resuming with a larger budget extends
+// the same campaign.
+func identity(sp Space, eval EvalParams, seed uint64, grid bool, batch int) string {
+	s := fmt.Sprintf("%s|load=%v warmup=%d measure=%d simseed=%d|seed=%d grid=%t batch=%d|v%d",
+		sp.Canonical(), eval.Load, eval.Warmup, eval.Measure, eval.Seed, seed, grid, batch, checkpointVersion)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:12])
+}
+
+// encodeIndices compresses a set of flat indices as sorted deltas in
+// unsigned varints, base64-encoded. Densely sampled spaces cost ~1–2
+// bytes per point, so even million-point campaigns checkpoint in a few
+// megabytes.
+func encodeIndices(set map[int64]struct{}) string {
+	idx := make([]int64, 0, len(set))
+	for i := range set {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	buf := make([]byte, 0, len(idx)*2)
+	var tmp [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for _, i := range idx {
+		n := binary.PutUvarint(tmp[:], uint64(i-prev))
+		buf = append(buf, tmp[:n]...)
+		prev = i
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// decodeIndices inverts encodeIndices.
+func decodeIndices(s string) (map[int64]struct{}, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("explore: checkpoint seen set: %w", err)
+	}
+	set := make(map[int64]struct{})
+	prev := int64(0)
+	for len(buf) > 0 {
+		d, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("explore: checkpoint seen set: truncated varint")
+		}
+		buf = buf[n:]
+		prev += int64(d)
+		set[prev] = struct{}{}
+	}
+	return set, nil
+}
+
+// writeCheckpoint atomically replaces path with the serialized state:
+// write to a temp file in the same directory, sync, rename. A kill at
+// any instant leaves either the previous checkpoint or the new one,
+// never a torn file.
+func writeCheckpoint(path string, ck *checkpoint) error {
+	b, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("explore: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("explore: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(append(b, '\n'))
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("explore: checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("explore: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads path; a missing file returns (nil, nil) — a fresh
+// campaign. A checkpoint whose identity does not match id is an error:
+// continuing it would silently mix two different campaigns.
+func readCheckpoint(path, id string) (*checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("explore: checkpoint: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(b, &ck); err != nil {
+		return nil, fmt.Errorf("explore: checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("explore: checkpoint %s: version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.Identity != id {
+		return nil, fmt.Errorf("explore: checkpoint %s belongs to campaign %s, not %s (space, eval params, seed, mode, or batch size changed; delete it to start over)",
+			path, ck.Identity, id)
+	}
+	return &ck, nil
+}

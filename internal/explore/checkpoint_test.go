@@ -1,0 +1,116 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeIndicesRoundTrip(t *testing.T) {
+	cases := []map[int64]struct{}{
+		{},
+		{0: {}},
+		{0: {}, 1: {}, 2: {}},
+		{5: {}, 1000000: {}, 31: {}, 32: {}},
+	}
+	for i, set := range cases {
+		got, err := decodeIndices(encodeIndices(set))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(set) {
+			t.Fatalf("case %d: %d indices, want %d", i, len(got), len(set))
+		}
+		for k := range set {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("case %d: lost index %d", i, k)
+			}
+		}
+	}
+	if _, err := decodeIndices("!!!not-base64!!!"); err == nil {
+		t.Fatal("bad base64 accepted")
+	}
+}
+
+func TestCheckpointWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "ckpt.json")
+	sp := testSpace()
+	eval := EvalParams{Load: 0.1, Warmup: 100, Measure: 400, Seed: 1}
+	id := identity(sp, eval, 7, false, 8)
+
+	if ck, err := readCheckpoint(path, id); err != nil || ck != nil {
+		t.Fatalf("missing checkpoint: (%v, %v), want (nil, nil)", ck, err)
+	}
+
+	var f Front
+	f.Insert(Point{Index: 3, PowerW: 1, Latency: 10})
+	in := &checkpoint{
+		Version: checkpointVersion, Identity: id,
+		Round: 2, Evaluated: 15, Infeasible: 1, Failures: 2,
+		Seen:    encodeIndices(map[int64]struct{}{1: {}, 3: {}, 9: {}}),
+		Pending: []int64{4, 5},
+		Front:   f.Points(), FrontHash: f.Hash(),
+	}
+	if err := writeCheckpoint(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readCheckpoint(path, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Round != 2 || out.Evaluated != 15 || out.Infeasible != 1 || out.Failures != 2 {
+		t.Fatalf("counters lost: %+v", out)
+	}
+	if len(out.Pending) != 2 || out.Pending[0] != 4 || out.Pending[1] != 5 {
+		t.Fatalf("pending lost: %v", out.Pending)
+	}
+	if len(out.Front) != 1 || out.Front[0].Index != 3 {
+		t.Fatalf("front lost: %+v", out.Front)
+	}
+
+	// A different campaign identity must be rejected, not silently mixed.
+	otherID := identity(sp, eval, 8, false, 8)
+	if _, err := readCheckpoint(path, otherID); err == nil || !strings.Contains(err.Error(), "belongs to campaign") {
+		t.Fatalf("identity mismatch not rejected: %v", err)
+	}
+
+	// Atomic replace leaves no temp litter.
+	in.Round = 3
+	if err := writeCheckpoint(path, in); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestIdentityCoversCampaignKnobs(t *testing.T) {
+	sp := testSpace()
+	eval := EvalParams{Load: 0.1, Warmup: 100, Measure: 400, Seed: 1}
+	base := identity(sp, eval, 1, false, 8)
+	altSpace := sp
+	altSpace.Subnets = []int{1, 2}
+	altEval := eval
+	altEval.Load = 0.2
+	for name, id := range map[string]string{
+		"space": identity(altSpace, eval, 1, false, 8),
+		"eval":  identity(sp, altEval, 1, false, 8),
+		"seed":  identity(sp, eval, 2, false, 8),
+		"grid":  identity(sp, eval, 1, true, 8),
+		"batch": identity(sp, eval, 1, false, 16),
+	} {
+		if id == base {
+			t.Errorf("identity ignores %s", name)
+		}
+	}
+	if identity(sp, eval, 1, false, 8) != base {
+		t.Error("identity is not stable")
+	}
+}

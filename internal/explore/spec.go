@@ -1,0 +1,80 @@
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// EvalParams are the per-campaign evaluation constants shared by every
+// point: the objective load and measurement window. They are part of
+// every point's cache key — a cache directory can hold results from many
+// campaigns at different loads or scales without collisions.
+type EvalParams struct {
+	// Load is the offered load the objectives are measured at, in
+	// packets/node/cycle.
+	Load float64 `json:"load"`
+	// Warmup and Measure are the per-point cycle counts.
+	Warmup  int64 `json:"warmup"`
+	Measure int64 `json:"measure"`
+	// Seed is the simulation seed every point runs with.
+	Seed uint64 `json:"seed"`
+}
+
+// Spec is one fully specified evaluation: a design-space point plus the
+// campaign's evaluation parameters. Its canonical serialization is the
+// cache identity — two Specs with equal Canonical() are the same
+// simulation by construction (the simulator is deterministic in exactly
+// these inputs).
+type Spec struct {
+	// Subnets and WidthBits provision the network.
+	Subnets   int `json:"subnets"`
+	WidthBits int `json:"width_bits"`
+	// VCDepth is the per-VC buffer depth in flits.
+	VCDepth int `json:"vc_depth"`
+	// TIdle is the idle-detect window in cycles (Config.TIdleDetect).
+	TIdle int `json:"t_idle"`
+	// Metric is the local congestion metric by paper name.
+	Metric string `json:"metric"`
+	// Threshold is the metric set-threshold; 0 selects the metric's
+	// tuned default.
+	Threshold float64 `json:"threshold"`
+	// Load, Warmup, Measure, Seed echo the campaign's EvalParams.
+	Load    float64 `json:"load"`
+	Warmup  int64   `json:"warmup"`
+	Measure int64   `json:"measure"`
+	Seed    uint64  `json:"seed"`
+}
+
+// Canonical returns the spec's canonical one-line serialization: fixed
+// field order, %v numeric formatting (shortest round-trippable floats).
+// The cache key is the hash of exactly this string, so the format is
+// part of the on-disk cache contract — extend it only by appending
+// fields, and bump the cache schema when changing existing ones.
+func (s Spec) Canonical() string {
+	return fmt.Sprintf("subnets=%d width=%d vcdepth=%d tidle=%d metric=%s threshold=%v load=%v warmup=%d measure=%d seed=%d",
+		s.Subnets, s.WidthBits, s.VCDepth, s.TIdle, s.Metric, s.Threshold, s.Load, s.Warmup, s.Measure, s.Seed)
+}
+
+// Key returns the content address of the spec: the first 16 bytes of
+// SHA-256 over Canonical(), hex-encoded (32 characters). 128 bits keeps
+// accidental collisions out of reach at any campaign size while halving
+// the index and on-disk key footprint versus the full digest.
+func (s Spec) Key() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Sample is one evaluated point's measured objectives — what the cache
+// persists and the frontier consumes.
+type Sample struct {
+	// PowerW and Latency are the two minimized objectives: total network
+	// power in watts and average packet latency in cycles.
+	PowerW  float64 `json:"power_w"`
+	Latency float64 `json:"latency"`
+	// Accepted is the delivered throughput in packets/node/cycle; the
+	// engine's feasibility filter compares it against the offered load.
+	Accepted float64 `json:"accepted"`
+	// CSCPercent records compensated sleep cycles for reporting.
+	CSCPercent float64 `json:"csc_percent"`
+}

@@ -1,6 +1,11 @@
 package runner
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
 
 func TestTee(t *testing.T) {
 	var a, b []EventKind
@@ -24,5 +29,121 @@ func TestTee(t *testing.T) {
 	want := []EventKind{PointStart, PointDone}
 	if len(a) != 2 || len(b) != 2 || a[0] != want[0] || a[1] != want[1] || b[0] != want[0] || b[1] != want[1] {
 		t.Errorf("tee fan-out mismatch: a=%v b=%v", a, b)
+	}
+}
+
+// recorder collects a progress stream. Event delivery is serialized by
+// the engine's emitter, so append without locking is exactly the
+// contract under test: a race here (caught by `make race`) would mean
+// the serialization guarantee broke.
+type recorder struct {
+	events []Event
+}
+
+func (r *recorder) Event(e Event) { r.events = append(r.events, e) }
+
+// TestTeeUnderMidSweepCancellation drives a real sweep through a Tee of
+// two receivers and pulls the plug partway: both receivers must see the
+// same serialized stream, with a monotonically consistent done counter
+// and no finish events for points the cancellation skipped.
+func TestTeeUnderMidSweepCancellation(t *testing.T) {
+	const total = 40
+	const killAfter = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var finished atomic.Int64
+	points := make([]Point[int], total)
+	for i := range points {
+		i := i
+		points[i] = Point[int]{
+			Label:  "pt",
+			Cycles: 1,
+			Run: func(ctx context.Context) (int, error) {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				if finished.Add(1) == killAfter {
+					cancel()
+				}
+				return i, nil
+			},
+		}
+	}
+
+	var a, b recorder
+	out, err := Run(ctx, points, Options{Jobs: 4, Progress: Tee(&a, &b)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error %v, want context.Canceled", err)
+	}
+	if len(out) != total {
+		t.Fatalf("%d outcomes, want %d", len(out), total)
+	}
+
+	if len(a.events) == 0 {
+		t.Fatal("no events delivered before cancellation")
+	}
+	if len(a.events) != len(b.events) {
+		t.Fatalf("receivers saw different stream lengths: %d vs %d", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		ea, eb := a.events[i], b.events[i]
+		if ea.Kind != eb.Kind || ea.Index != eb.Index || ea.Done != eb.Done || !errors.Is(eb.Err, ea.Err) {
+			t.Fatalf("event %d diverges between receivers: %+v vs %+v", i, ea, eb)
+		}
+	}
+
+	// The stream itself must be self-consistent: every finish matches a
+	// prior start for the same index, Done increments by exactly one per
+	// finish, and Total is stable.
+	started := make(map[int]bool)
+	finishes := 0
+	for i, e := range a.events {
+		if e.Total != total {
+			t.Fatalf("event %d has Total=%d, want %d", i, e.Total, total)
+		}
+		switch e.Kind {
+		case PointStart:
+			if started[e.Index] {
+				t.Fatalf("point %d started twice", e.Index)
+			}
+			started[e.Index] = true
+		case PointDone, PointError:
+			if !started[e.Index] {
+				t.Fatalf("point %d finished without starting", e.Index)
+			}
+			finishes++
+			if e.Done != finishes {
+				t.Fatalf("finish %d carries Done=%d", finishes, e.Done)
+			}
+		}
+	}
+	if finishes == total {
+		t.Fatal("cancellation skipped nothing; the test lost its subject")
+	}
+
+	// Skipped points carry ctx.Err() in their Outcome but never reached
+	// a worker, so they must not appear in the stream at all.
+	for _, o := range out {
+		if errors.Is(o.Err, context.Canceled) && o.Wall == 0 && started[o.Index] {
+			t.Fatalf("skipped point %d has progress events", o.Index)
+		}
+	}
+}
+
+// TestTeeSkippedPointsSilent pins the boundary case: a sweep cancelled
+// before dispatch delivers no events through the Tee, and the sweep
+// error still reports the cancellation.
+func TestTeeSkippedPointsSilent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var a, b recorder
+	points := []Point[int]{{Label: "never", Run: func(context.Context) (int, error) { return 0, nil }}}
+	_, err := Run(ctx, points, Options{Jobs: 1, Progress: Tee(&a, &b)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error %v, want context.Canceled", err)
+	}
+	if len(a.events) != 0 || len(b.events) != 0 {
+		t.Fatalf("pre-cancelled sweep delivered events: a=%d b=%d", len(a.events), len(b.events))
 	}
 }

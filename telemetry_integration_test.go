@@ -88,6 +88,12 @@ func TestExperimentOptsValidate(t *testing.T) {
 		{"window over total", ExperimentOpts{Total: 100, Window: 200}, "ExperimentOpts.Window"},
 		{"negative jobs", ExperimentOpts{Sweep: SweepOptions{Jobs: -1}}, "ExperimentOpts.Sweep.Jobs"},
 		{"negative timeout", ExperimentOpts{Sweep: SweepOptions{Timeout: -time.Second}}, "ExperimentOpts.Sweep.Timeout"},
+		{"explore dup axis", ExperimentOpts{Explore: ExploreOpts{Space: ExploreSpace{Widths: []int{128, 128}}}}, "ExperimentOpts.Explore.Space"},
+		{"explore bad metric", ExperimentOpts{Explore: ExploreOpts{Space: ExploreSpace{Metrics: []string{"Vibes"}}}}, "ExperimentOpts.Explore.Space.Metrics"},
+		{"explore load too high", ExperimentOpts{Explore: ExploreOpts{Load: 1.5}}, "ExperimentOpts.Explore.Load"},
+		{"explore negative batch", ExperimentOpts{Explore: ExploreOpts{Batch: -1}}, "ExperimentOpts.Explore.Batch"},
+		{"explore frac out of range", ExperimentOpts{Explore: ExploreOpts{ExploreFrac: 2}}, "ExperimentOpts.Explore.ExploreFrac"},
+		{"explore min-accepted out of range", ExperimentOpts{Explore: ExploreOpts{MinAccepted: 1.1}}, "ExperimentOpts.Explore.MinAccepted"},
 	}
 	for _, c := range cases {
 		err := c.opts.Validate()
