@@ -24,19 +24,21 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/catnap-lint ./...
 
-# check-race runs the noc + congestion differential suites under the
-# race detector: the sharded router phase, parallel subnets, mid-run
-# flips, drain, and the incremental-vs-reference differentials all
-# exercise the concurrency contract documented on SetExecMode (built-in
-# policies, selector, detector, and tracers must tolerate calls from
-# worker goroutines). TestShardedBuiltinPoliciesRace is the dedicated
-# assertion; the TestShardedMulticore* suite raises GOMAXPROCS to 8 so
-# the StepPool genuinely fans out; the rest catch staging/commit races
-# against real traffic.
+# check-race runs the noc + congestion + root differential suites under
+# the race detector: the sharded router phase, parallel subnets, mid-run
+# flips, drain, the incremental-vs-reference differentials, and the
+# reset/reuse differentials (Network.Reset vs fresh construction, SimPool
+# recycling across heterogeneous shapes) all exercise the concurrency
+# contract documented on SetExecMode (built-in policies, selector,
+# detector, and tracers must tolerate calls from worker goroutines).
+# TestShardedBuiltinPoliciesRace is the dedicated assertion; the
+# TestShardedMulticore* suite raises GOMAXPROCS to 8 so the StepPool
+# genuinely fans out; the rest catch staging/commit races against real
+# traffic.
 check-race:
 	$(GO) test -race -count=1 -timeout 60m \
-		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential|IdleSkip' \
-		./internal/noc ./internal/congestion
+		-run 'Sharded|Parallel|Incremental|Flip|Drain|Detector|Differential|IdleSkip|Reset|SimPool' \
+		./internal/noc ./internal/congestion .
 
 build:
 	$(GO) build ./...
@@ -63,9 +65,10 @@ bench-telemetry:
 # BENCH_core.json (ns/cycle, B/cycle, speedup per scenario plus the
 # per-GOMAXPROCS point matrix), and fails if the low-load gated speedup
 # regresses below 3x, if sharded stepping allocates beyond sequential
-# parity, or (on >=8-core machines) if 8-shard stepping misses 3x at
-# GOMAXPROCS=8 — the O(active)-stepping and multicore-scaling guards.
-# See DESIGN.md "Hot path".
+# parity, if (on >=8-core machines) 8-shard stepping misses 3x at
+# GOMAXPROCS=8, or if the sweep-reuse pool misses 2x points/sec over
+# fresh construction — the O(active)-stepping, multicore-scaling, and
+# zero-rebuild-sweep guards. See DESIGN.md "Hot path" and §4i.
 bench-core:
 	CORE_BENCH=1 $(GO) test -run TestCoreBenchGuard -count=1 -timeout 30m .
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -265,6 +266,125 @@ func runExploreCachedScenario(t *testing.T, reps int) coreBenchRow {
 	return row
 }
 
+// The sweep-reuse scenario: a Fig6-style designs x loads grid evaluated
+// point by point on one worker, reuse-pool arm (one SimPool recycling a
+// single simulator via Simulator.Reset) versus fresh-construction arm
+// (catnap.New per point — what every sweep did before the reuse pool).
+// The per-point windows are deliberately short and the loads sit in the
+// paper's near-idle energy-proportional region: the scenario measures
+// per-point provisioning overhead, which is what the pool optimizes, not
+// stepping cost (campaign-scale points amortize construction; explore
+// and quick-mode campaigns with many short points do not). Both arms run
+// the same seeded traffic, so their Results must match exactly.
+var (
+	sweepReuseDesigns = []string{"1NT-512b", "2NT-256b", "4NT-128b", "4NT-128b-PG"}
+	sweepReuseLoads   = []float64{0, 0.002, 0.004}
+)
+
+const (
+	sweepReuseWarmup  = 10
+	sweepReuseMeasure = 30
+)
+
+// runSweepReuseArm evaluates the whole grid once and returns the wall
+// clock, allocated bytes, and every point's Results in grid order.
+func runSweepReuseArm(reuse bool) (time.Duration, uint64, []Results, error) {
+	var pool *SimPool
+	if reuse {
+		pool = NewSimPool()
+	}
+	out := make([]Results, 0, len(sweepReuseDesigns)*len(sweepReuseLoads))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for _, d := range sweepReuseDesigns {
+		cfg := mustDesign(d)
+		for _, load := range sweepReuseLoads {
+			// A nil pool degrades to plain New — the fresh-construction arm.
+			sim, err := pool.Get(cfg)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			out = append(out, sim.RunSynthetic(traffic.UniformRandom{}, traffic.Constant(load), sweepReuseWarmup, sweepReuseMeasure))
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return elapsed, ms1.TotalAlloc - ms0.TotalAlloc, out, nil
+}
+
+// runSweepReuseScenario measures both arms interleaved min-of-reps and
+// asserts per-point bit-identity: simulator reuse is only a win if every
+// reused point reports exactly what a fresh simulator would.
+func runSweepReuseScenario(t *testing.T, reps int) coreBenchRow {
+	t.Helper()
+	points := len(sweepReuseDesigns) * len(sweepReuseLoads)
+	totalCycles := float64(points * (sweepReuseWarmup + sweepReuseMeasure))
+	// One untimed pass per arm warms the precompute cache, freelists, and
+	// allocator before the measured reps.
+	for _, reuse := range []bool{false, true} {
+		if _, _, _, err := runSweepReuseArm(reuse); err != nil {
+			t.Fatalf("sweep-reuse warmup: %v", err)
+		}
+	}
+	freshNs, reuseNs := time.Duration(1<<63-1), time.Duration(1<<63-1)
+	freshBytes, reuseBytes := uint64(1<<64-1), uint64(1<<64-1)
+	for r := 0; r < reps; r++ {
+		fe, fb, fres, err := runSweepReuseArm(false)
+		if err != nil {
+			t.Fatalf("sweep-reuse fresh arm: %v", err)
+		}
+		re, rb, rres, err := runSweepReuseArm(true)
+		if err != nil {
+			t.Fatalf("sweep-reuse reuse arm: %v", err)
+		}
+		for i := range fres {
+			if !reflect.DeepEqual(fres[i], rres[i]) {
+				t.Fatalf("sweep-reuse point %d diverged between fresh and reuse arms", i)
+			}
+		}
+		if fres[len(fres)-1].AcceptedThroughput <= 0 {
+			t.Fatal("sweep-reuse produced no traffic on its highest-load point")
+		}
+		if fe < freshNs {
+			freshNs = fe
+		}
+		if re < reuseNs {
+			reuseNs = re
+		}
+		if fb < freshBytes {
+			freshBytes = fb
+		}
+		if rb < reuseBytes {
+			reuseBytes = rb
+		}
+	}
+	row := coreBenchRow{
+		FastNsPerCycle:    float64(reuseNs.Nanoseconds()) / totalCycles,
+		RefNsPerCycle:     float64(freshNs.Nanoseconds()) / totalCycles,
+		FastBytesPerCycle: float64(reuseBytes) / totalCycles,
+		RefBytesPerCycle:  float64(freshBytes) / totalCycles,
+		FastPointsPerSec:  float64(points) / reuseNs.Seconds(),
+		RefPointsPerSec:   float64(points) / freshNs.Seconds(),
+		RefMode:           "fresh-construction",
+	}
+	row.Speedup = row.RefNsPerCycle / row.FastNsPerCycle
+	t.Logf("%-26s reuse %8.0f pts/s %8.1f B/cycle  fresh %8.0f pts/s %8.1f B/cycle  speedup %.2fx",
+		"sweep-reuse", row.FastPointsPerSec, row.FastBytesPerCycle,
+		row.RefPointsPerSec, row.RefBytesPerCycle, row.Speedup)
+	return row
+}
+
+// TestSweepReuseSmoke runs one rep of the sweep-reuse scenario in the
+// default test suite: it asserts the bit-identity of the reuse-pool and
+// fresh-construction arms on every grid point (the property the reuse
+// plumbing must never lose), not the wall-clock ratio — the ≥2x
+// points/sec guard lives in TestCoreBenchGuard behind CORE_BENCH=1 like
+// every other wall-clock assertion.
+func TestSweepReuseSmoke(t *testing.T) {
+	runSweepReuseScenario(t, 1)
+}
+
 // gmpPoint is one GOMAXPROCS level of a sharded scenario's fast arm: the
 // same workload re-measured with the worker pool capped at that width.
 // Speedup is against the scenario's ref arm (sequential incremental
@@ -287,14 +407,21 @@ type gmpPoint struct {
 // GOMAXPROCS 1/2/4/8 fast-arm matrix; the top-level fast columns are
 // measured at the ambient GOMAXPROCS.
 type coreBenchRow struct {
-	FastNsPerCycle    float64    `json:"fast_ns_per_cycle"`
-	RefNsPerCycle     float64    `json:"ref_ns_per_cycle"`
-	Speedup           float64    `json:"speedup"`
-	FastBytesPerCycle float64    `json:"fast_bytes_per_cycle"`
-	RefBytesPerCycle  float64    `json:"ref_bytes_per_cycle"`
-	Shards            int        `json:"shards,omitempty"`
-	RefMode           string     `json:"ref_mode"`
-	GOMAXPROCSPoints  []gmpPoint `json:"gomaxprocs_points,omitempty"`
+	FastNsPerCycle    float64 `json:"fast_ns_per_cycle"`
+	RefNsPerCycle     float64 `json:"ref_ns_per_cycle"`
+	Speedup           float64 `json:"speedup"`
+	FastBytesPerCycle float64 `json:"fast_bytes_per_cycle"`
+	RefBytesPerCycle  float64 `json:"ref_bytes_per_cycle"`
+	Shards            int     `json:"shards,omitempty"`
+	RefMode           string  `json:"ref_mode"`
+	// Points/sec columns, set only by throughput-style scenarios
+	// (sweep-reuse): whole sweep points completed per second per arm.
+	// For those scenarios ns/cycle spreads per-point provisioning cost
+	// over simulated cycles and is not a stepping cost, so readers (and
+	// catnap-benchdiff) should prefer these columns when present.
+	FastPointsPerSec float64    `json:"fast_points_per_sec,omitempty"`
+	RefPointsPerSec  float64    `json:"ref_points_per_sec,omitempty"`
+	GOMAXPROCSPoints []gmpPoint `json:"gomaxprocs_points,omitempty"`
 }
 
 // benchGOMAXPROCS is the fast-arm scaling matrix recorded for every
@@ -438,6 +565,7 @@ func TestCoreBenchGuard(t *testing.T) {
 	}
 
 	report.Scenarios["explore-cached"] = runExploreCachedScenario(t, reps)
+	report.Scenarios["sweep-reuse"] = runSweepReuseScenario(t, reps)
 
 	out := os.Getenv("BENCH_CORE_OUT")
 	if out == "" {
@@ -466,6 +594,10 @@ func TestCoreBenchGuard(t *testing.T) {
 	if row := report.Scenarios["explore-cached"]; row.Speedup < 20 {
 		t.Errorf("explore-cached speedup %.2fx below the 20x guard (warm %.1f ns/cycle, cold %.1f ns/cycle): the result cache must make campaign reruns nearly free",
 			row.Speedup, row.FastNsPerCycle, row.RefNsPerCycle)
+	}
+	if row := report.Scenarios["sweep-reuse"]; row.Speedup < 2.0 {
+		t.Errorf("sweep-reuse %.2fx below the 2x points/sec guard (reuse %.0f pts/s, fresh %.0f pts/s): in-place reset must keep per-point provisioning at least 2x cheaper than fresh construction",
+			row.Speedup, row.FastPointsPerSec, row.RefPointsPerSec)
 	}
 	// Alloc parity: the sharded dispatch path (pool fan-out, steal cursors,
 	// batched commit apply) must not allocate beyond what sequential

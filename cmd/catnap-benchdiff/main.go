@@ -1,9 +1,14 @@
 // Command catnap-benchdiff compares two BENCH_core.json reports (as
 // written by `make bench-core`) and prints per-scenario deltas: ns/cycle,
 // bytes/cycle, and speedup for the fast arm, plus every per-GOMAXPROCS
-// point of the sharded scenarios' scaling matrix. It tolerates older
+// point of the sharded scenarios' scaling matrix. Throughput-style
+// scenarios (sweep-reuse) are reported in points/sec instead — their
+// ns/cycle column spreads per-point provisioning cost over simulated
+// cycles and is meaningless as a stepping cost — and regress when the
+// sweep throughput DROPS by more than the threshold. It tolerates older
 // reports that predate the matrix (missing gomaxprocs_points / num_cpu
-// fields), so a baseline captured before the schema change still diffs.
+// fields) or the points/sec columns, so a baseline captured before the
+// schema change still diffs.
 //
 // Usage:
 //
@@ -34,7 +39,10 @@ type gmpPoint struct {
 	Speedup           float64 `json:"speedup"`
 }
 
-// benchRow mirrors one scenario entry of BENCH_core.json.
+// benchRow mirrors one scenario entry of BENCH_core.json. The points/sec
+// columns are set only by throughput-style scenarios (sweep-reuse), where
+// ns/cycle spreads per-point provisioning cost over simulated cycles and
+// is not a stepping cost; those rows are reported in points/sec instead.
 type benchRow struct {
 	FastNsPerCycle    float64    `json:"fast_ns_per_cycle"`
 	RefNsPerCycle     float64    `json:"ref_ns_per_cycle"`
@@ -43,6 +51,8 @@ type benchRow struct {
 	RefBytesPerCycle  float64    `json:"ref_bytes_per_cycle"`
 	Shards            int        `json:"shards"`
 	RefMode           string     `json:"ref_mode"`
+	FastPointsPerSec  float64    `json:"fast_points_per_sec"`
+	RefPointsPerSec   float64    `json:"ref_points_per_sec"`
 	GOMAXPROCSPoints  []gmpPoint `json:"gomaxprocs_points"`
 }
 
@@ -116,6 +126,23 @@ func diff(w io.Writer, oldR, newR benchReport, failOver float64) bool {
 	for _, name := range names {
 		n := newR.Scenarios[name]
 		o, ok := oldR.Scenarios[name]
+		// Throughput-style scenarios (sweep-reuse) report points/sec:
+		// their ns/cycle is provisioning cost spread over simulated
+		// cycles, so the sweep throughput is the comparable number and a
+		// DROP in it (not a rise) is the regression.
+		if n.FastPointsPerSec > 0 {
+			if !ok || o.FastPointsPerSec == 0 {
+				fmt.Fprintf(w, "%-26s %12.0f pts/s (new)   %8.2fx (new)\n", name, n.FastPointsPerSec, n.Speedup)
+			} else {
+				d := pct(o.FastPointsPerSec, n.FastPointsPerSec)
+				if failOver > 0 && d < -failOver {
+					regressed = true
+				}
+				fmt.Fprintf(w, "%-26s %8.0f -> %8.0f pts/s (%+6.1f%%)   %5.2fx -> %5.2fx\n",
+					name, o.FastPointsPerSec, n.FastPointsPerSec, d, o.Speedup, n.Speedup)
+			}
+			continue
+		}
 		row(name, ok, o.FastNsPerCycle, n.FastNsPerCycle,
 			o.FastBytesPerCycle, n.FastBytesPerCycle, o.Speedup, n.Speedup)
 		covered := make(map[int]bool, len(n.GOMAXPROCSPoints))

@@ -100,6 +100,56 @@ func TestDiffCatchesDroppedGMPPoint(t *testing.T) {
 	}
 }
 
+// TestDiffThroughputScenario covers the points/sec rows (sweep-reuse):
+// a DROP in sweep throughput is the regression, a rise never is, and
+// dropping the scenario outright still trips the coverage gate.
+func TestDiffThroughputScenario(t *testing.T) {
+	base := baselineReport()
+	base.Scenarios["sweep-reuse"] = benchRow{
+		FastNsPerCycle: 4400, RefNsPerCycle: 10700, Speedup: 2.4,
+		FastPointsPerSec: 5600, RefPointsPerSec: 2300, RefMode: "fresh-construction",
+	}
+
+	slower := baselineReport()
+	slower.Scenarios["sweep-reuse"] = benchRow{
+		FastNsPerCycle: 8800, RefNsPerCycle: 10700, Speedup: 1.2,
+		FastPointsPerSec: 2800, RefPointsPerSec: 2300, RefMode: "fresh-construction",
+	}
+	var buf bytes.Buffer
+	if !diff(&buf, base, slower, 35) {
+		t.Fatalf("50%% points/sec drop not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "pts/s") {
+		t.Errorf("throughput row not reported in points/sec:\n%s", buf.String())
+	}
+
+	// The same pair reversed is a throughput improvement, and the matching
+	// ns/cycle RISE (more provisioning amortized per point is slower per
+	// cycle by construction) must not trip the ns/cycle gate.
+	buf.Reset()
+	if diff(&buf, slower, base, 35) {
+		t.Fatalf("points/sec improvement flagged as regression:\n%s", buf.String())
+	}
+
+	// Baselines predating the points/sec columns compare as (new).
+	buf.Reset()
+	if diff(&buf, baselineReport(), base, 35) {
+		t.Fatalf("throughput row vs pre-schema baseline flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "pts/s (new)") {
+		t.Errorf("fresh throughput row not marked (new):\n%s", buf.String())
+	}
+
+	// Dropping the scenario is lost coverage exactly like any other row.
+	buf.Reset()
+	if !diff(&buf, base, baselineReport(), 35) {
+		t.Fatal("dropped sweep-reuse scenario not flagged")
+	}
+	if !strings.Contains(buf.String(), "sweep-reuse") {
+		t.Errorf("output does not name the dropped scenario:\n%s", buf.String())
+	}
+}
+
 func TestDiffCatchesDroppedScenario(t *testing.T) {
 	newR := baselineReport()
 	delete(newR.Scenarios, "sharded")

@@ -66,6 +66,7 @@ var (
 	jobs          = flag.Int("jobs", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
 	simWorkers    = flag.Int("sim-workers", 0, "router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS)")
 	noSkip        = flag.Bool("no-skip", false, "disable event-driven idle fast-forward (bit-identical, only slower)")
+	reuse         = flag.Bool("reuse", true, "recycle one simulator per worker across evaluations instead of rebuilding (bit-identical; disable to benchmark fresh construction)")
 	verbose       = flag.Bool("v", false, "log every evaluated point as it completes")
 	cpuprofile    = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 	memprofile    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -177,6 +178,7 @@ func buildOpts() (catnap.ExperimentOpts, error) {
 	opts.Sweep.Jobs = *jobs
 	opts.SimWorkers = *simWorkers
 	opts.NoIdleSkip = *noSkip
+	opts.NoReuse = !*reuse
 	if err := opts.Validate(); err != nil {
 		return opts, err
 	}

@@ -57,6 +57,7 @@ var (
 	jobs        = flag.Int("jobs", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	simWorkers  = flag.Int("sim-workers", 0, "router-phase shards inside each simulator (0 = off, -1 = GOMAXPROCS); results are bit-identical at any value")
 	noSkip      = flag.Bool("no-skip", false, "disable event-driven idle fast-forward (bit-identical, only slower on idle stretches)")
+	reuse       = flag.Bool("reuse", true, "recycle one simulator per worker across sweep points instead of rebuilding (bit-identical; disable to benchmark fresh construction)")
 	verbose     = flag.Bool("v", false, "log every sweep point as it completes")
 	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -136,7 +137,10 @@ func sweep() error {
 					}
 				}
 				cfg.NoIdleSkip = *noSkip
-				sim, err := catnap.New(cfg)
+				// With -reuse, the worker's pool resets one simulator in
+				// place; a nil pool (reuse off) degrades to catnap.New.
+				pool, _ := runner.WorkerState(ctx).(*catnap.SimPool)
+				sim, err := pool.Get(cfg)
 				if err != nil {
 					return catnap.Results{}, err
 				}
@@ -175,7 +179,11 @@ func sweep() error {
 	if rec != nil {
 		sweepProg = runner.Tee(prog, rec.Progress())
 	}
-	results, err := runner.Values(runner.Run(ctx, pts, runner.Options{Jobs: *jobs, Progress: sweepProg}))
+	ropts := runner.Options{Jobs: *jobs, Progress: sweepProg}
+	if *reuse {
+		ropts.WorkerState = func() any { return catnap.NewSimPool() }
+	}
+	results, err := runner.Values(runner.Run(ctx, pts, ropts))
 	prog.Finish()
 	if err != nil {
 		return err

@@ -79,6 +79,14 @@ type ExperimentOpts struct {
 	// Sweep configures the parallel engine (worker count, per-point
 	// timeout, progress reporting).
 	Sweep SweepOptions
+	// NoReuse disables per-worker simulator reuse. By default
+	// RunExperiment gives each sweep worker a SimPool so consecutive
+	// points recycle one simulator via Simulator.Reset instead of
+	// rebuilding it; results are bit-identical either way (the reset
+	// differential suite asserts it). Set NoReuse to benchmark or debug
+	// the fresh-construction path. cmd/catnap-sweep and cmd/catnap-explore
+	// expose it as -reuse=false.
+	NoReuse bool
 	// Telemetry, when non-nil, records cycle-level metrics and events
 	// from the experiment's simulations (single-simulation experiments
 	// attach a collector; sweeps record point lifecycle events).
@@ -212,6 +220,11 @@ func RunExperiment(ctx context.Context, name string, opts ExperimentOpts) (*Expe
 		return nil, err
 	}
 	opts = opts.withTelemetry()
+	if !opts.NoReuse && opts.Sweep.WorkerState == nil {
+		// Default: each sweep worker owns a SimPool, so consecutive points
+		// reset one simulator in place instead of rebuilding it.
+		opts.Sweep.WorkerState = func() any { return NewSimPool() }
+	}
 	for _, e := range experimentList {
 		if e.info.Name == name {
 			return e.run(ctx, opts)

@@ -42,10 +42,15 @@ type SweepOptions struct {
 	Timeout time.Duration
 	// Progress receives per-point events; nil disables reporting.
 	Progress SweepProgress
+	// WorkerState builds one per-worker state value (see
+	// runner.Options.WorkerState). RunExperiment installs a SimPool
+	// builder here by default so consecutive points on a worker recycle
+	// one simulator; leave nil for fresh construction per point.
+	WorkerState func() any
 }
 
 func (o SweepOptions) runnerOptions() runner.Options {
-	return runner.Options{Jobs: o.Jobs, Timeout: o.Timeout, Progress: o.Progress}
+	return runner.Options{Jobs: o.Jobs, Timeout: o.Timeout, Progress: o.Progress, WorkerState: o.WorkerState}
 }
 
 // sweep executes the points and unwraps the ordered results,
@@ -63,6 +68,27 @@ func newSim(design string, o ExperimentOpts) (*Simulator, error) {
 		return nil, err
 	}
 	return New(o.tuneCfg(cfg))
+}
+
+// simForCtx builds (or, on a reuse-pool worker, recycles) a simulator for
+// cfg: when the running sweep installed a SimPool as its worker state the
+// pool's instance is reset in place to cfg, otherwise a fresh simulator
+// is constructed. Point closures route their construction through here so
+// SweepOptions.WorkerState is the only reuse switch.
+func simForCtx(ctx context.Context, cfg Config) (*Simulator, error) {
+	if p, ok := runner.WorkerState(ctx).(*SimPool); ok {
+		return p.Get(cfg)
+	}
+	return New(cfg)
+}
+
+// newSimCtx is newSim routed through the worker's reuse pool, if any.
+func newSimCtx(ctx context.Context, design string, o ExperimentOpts) (*Simulator, error) {
+	cfg, err := Design(design)
+	if err != nil {
+		return nil, err
+	}
+	return simForCtx(ctx, o.tuneCfg(cfg))
 }
 
 // tuneCfg applies the simulator-level options to one design config:
@@ -249,7 +275,7 @@ func runFig6(ctx context.Context, o ExperimentOpts) ([]Fig6Point, error) {
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig6Point, error) {
-					sim, err := newSim(d, o)
+					sim, err := newSimCtx(ctx, d, o)
 					if err != nil {
 						return Fig6Point{}, err
 					}
@@ -352,7 +378,7 @@ func runAppWorkloads(ctx context.Context, o ExperimentOpts) ([]AppRow, error) {
 					return AppRow{}, err
 				}
 				cfg.AppTraffic = true
-				sim, err := New(o.tuneCfg(cfg))
+				sim, err := simForCtx(ctx, o.tuneCfg(cfg))
 				if err != nil {
 					return AppRow{}, err
 				}
@@ -446,7 +472,7 @@ func runFig10(ctx context.Context, o ExperimentOpts) ([]Fig10Point, error) {
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig10Point, error) {
-					sim, err := newSim(d, o)
+					sim, err := newSimCtx(ctx, d, o)
 					if err != nil {
 						return Fig10Point{}, err
 					}
@@ -549,7 +575,7 @@ func runFig11(ctx context.Context, o ExperimentOpts) ([]Fig11Point, error) {
 				Label:  pointLabel(pol.Name, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig11Point, error) {
-					sim, err := New(o.tuneCfg(pol.Cfg()))
+					sim, err := simForCtx(ctx, o.tuneCfg(pol.Cfg()))
 					if err != nil {
 						return Fig11Point{}, err
 					}
@@ -708,7 +734,7 @@ func runFig13(ctx context.Context, o ExperimentOpts) ([]Fig13Point, error) {
 						cfg.Metric = congestion.IR
 						cfg.MetricThreshold = thr
 						cfg.Name = fmt.Sprintf("4NT-128b-IR-%.2f", thr)
-						sim, err := New(o.tuneCfg(cfg))
+						sim, err := simForCtx(ctx, o.tuneCfg(cfg))
 						if err != nil {
 							return Fig13Point{}, err
 						}
@@ -765,7 +791,7 @@ func runFig14(ctx context.Context, o ExperimentOpts) ([]Fig14Point, error) {
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (Fig14Point, error) {
-					sim, err := newSim(d, o)
+					sim, err := newSimCtx(ctx, d, o)
 					if err != nil {
 						return Fig14Point{}, err
 					}
@@ -832,7 +858,7 @@ func runProfiles(ctx context.Context, o ExperimentOpts) ([]ProfileRow, error) {
 				cfg.Subnets, cfg.LinkWidthBits = 1, 256
 				cfg.AppTraffic = true
 				cfg.ApplyDefaults()
-				sim, err := New(o.tuneCfg(cfg))
+				sim, err := simForCtx(ctx, o.tuneCfg(cfg))
 				if err != nil {
 					return ProfileRow{}, err
 				}
@@ -915,7 +941,7 @@ func runTopology(ctx context.Context, o ExperimentOpts) ([]TopologyPoint, error)
 				Label:  pointLabel(d, load),
 				Cycles: sc.Warmup + sc.Measure,
 				Run: func(ctx context.Context) (TopologyPoint, error) {
-					sim, err := newSim(d, o)
+					sim, err := newSimCtx(ctx, d, o)
 					if err != nil {
 						return TopologyPoint{}, err
 					}
@@ -985,7 +1011,7 @@ func runHetero(ctx context.Context, o ExperimentOpts) ([]HeteroRow, error) {
 				cfg.AppTraffic = true
 				cfg.LocalOnly = localOnly
 				cfg.Name = "4NT-128b-PG-" + label
-				sim, err := New(o.tuneCfg(cfg))
+				sim, err := simForCtx(ctx, o.tuneCfg(cfg))
 				if err != nil {
 					return HeteroRow{}, err
 				}

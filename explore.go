@@ -171,7 +171,7 @@ func exploreEvaluator(o ExperimentOpts) explore.Evaluator {
 		cfg.Metric = kind
 		cfg.MetricThreshold = spec.Threshold
 		cfg.Seed = spec.Seed
-		sim, err := New(o.tuneCfg(cfg))
+		sim, err := simForCtx(ctx, o.tuneCfg(cfg))
 		if err != nil {
 			return explore.Sample{}, err
 		}
@@ -213,6 +213,7 @@ func exploreOptions(o ExperimentOpts) explore.Options {
 		ExploreFrac: e.ExploreFrac, MinAccepted: e.MinAccepted,
 		Seed: sampleSeed, CacheDir: e.CacheDir, CheckpointPath: e.CheckpointPath,
 		Jobs: o.Sweep.Jobs, Timeout: o.Sweep.Timeout, Progress: o.Sweep.Progress,
+		WorkerState: o.Sweep.WorkerState,
 	}
 }
 
@@ -228,6 +229,11 @@ var DefaultExploreScale = Scale{Warmup: 1000, Measure: 4000}
 func RunExplore(ctx context.Context, o ExperimentOpts) (*ExploreResult, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
+	}
+	if !o.NoReuse && o.Sweep.WorkerState == nil {
+		// Same default as RunExperiment: a per-worker SimPool so repeated
+		// evaluations recycle one simulator across the campaign.
+		o.Sweep.WorkerState = func() any { return NewSimPool() }
 	}
 	eopts := exploreOptions(o)
 	res, err := explore.Run(ctx, exploreEvaluator(o), eopts)

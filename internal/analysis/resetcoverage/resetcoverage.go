@@ -1,0 +1,100 @@
+// Package resetcoverage guards the zero-rebuild contract of the in-place
+// reset path (DESIGN.md §4i): every constructor in internal/noc that
+// allocates per-run state must declare, via a //catnap:reset-covered
+// annotation, that Network.Reset rewinds (or deliberately retains) what
+// it builds. The reflection completeness test proves the claim for
+// today's fields; this check makes the claim itself mandatory, so a new
+// constructor cannot introduce per-run allocations that the reset path
+// silently never sees.
+//
+// A constructor is any function or method named New* / new*. It is
+// flagged when its body allocates — make, new, a composite literal
+// (including &T{}), or append — and its doc comment lacks
+//
+//	//catnap:reset-covered <why the reset path covers this>
+//
+// Functions that allocate nothing (pure lookups, wrappers) need no
+// annotation. The fix is usually to build the state from the reset
+// function itself (the shell-over-Reset pattern New and Subnet.reset
+// use), and only then to annotate the shell.
+package resetcoverage
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+// Analyzer is the resetcoverage pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "resetcoverage",
+	Doc:  "require //catnap:reset-covered on internal/noc constructors that allocate per-run state",
+	Run:  run,
+}
+
+// annotation is the doc-comment marker a constructor must carry.
+const annotation = "reset-covered"
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageInScope(pass.Pkg.Path(), "internal/noc") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isConstructorName(fd.Name.Name) {
+				continue
+			}
+			if analysis.HasAnnotation(fd, annotation) {
+				continue
+			}
+			if pos, what := firstAllocation(pass, fd.Body); what != "" {
+				name := fd.Name.Name
+				if fd.Recv != nil {
+					name = "method " + name
+				} else {
+					name = "constructor " + name
+				}
+				pass.Reportf(pos, "%s allocates per-run state (%s) without //catnap:reset-covered — build it from the reset path or annotate why Reset covers it", name, what)
+			}
+		}
+	}
+	return nil
+}
+
+// isConstructorName reports whether the function follows the New*/new*
+// constructor convention.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// firstAllocation finds the first allocating construct in the body:
+// make/new/append calls and composite literals. It returns its position
+// and a short description, or "" when the body allocates nothing.
+func firstAllocation(pass *analysis.Pass, body *ast.BlockStmt) (pos token.Pos, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			pos, what = e.Pos(), "composite literal"
+			return false
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						pos, what = e.Pos(), b.Name()
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos, what
+}

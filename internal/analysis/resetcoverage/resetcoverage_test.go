@@ -1,0 +1,11 @@
+package resetcoverage
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestResetCoverageAnalyzer(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/noc")
+}

@@ -1,0 +1,57 @@
+// Package noc is resetcoverage's golden test package: constructor shapes
+// mirroring the simulator's, exercising the annotation requirement branch
+// by branch.
+package noc
+
+// Network mirrors the simulator's top-level type name.
+type Network struct {
+	slabs []int64
+	now   int64
+}
+
+// New is the shell-over-Reset constructor: it allocates, and the
+// annotation records that Reset builds everything.
+//
+//catnap:reset-covered every per-run structure is built by Reset itself
+func New(n int) *Network {
+	net := &Network{}
+	net.Reset(n)
+	return net
+}
+
+// Reset rewinds the network; allocating here is the point (it IS the
+// reset path, and its name does not match the constructor convention).
+func (net *Network) Reset(n int) {
+	net.slabs = make([]int64, n)
+	net.now = 0
+}
+
+// newWheel allocates per-run state without the annotation.
+func newWheel(size int) [][]int64 {
+	return make([][]int64, size) // want `constructor newWheel allocates per-run state \(make\) without //catnap:reset-covered`
+}
+
+// NewScratch allocates via a composite literal without the annotation.
+func NewScratch() *Network {
+	return &Network{} // want `constructor NewScratch allocates per-run state \(composite literal\) without //catnap:reset-covered`
+}
+
+// NewBuffered appends without the annotation.
+func (net *Network) NewBuffered(v int64) {
+	net.slabs = append(net.slabs, v) // want `method NewBuffered allocates per-run state \(append\) without //catnap:reset-covered`
+}
+
+// Now allocates nothing, so the constructor-looking name needs no
+// annotation... but it is not New*/new* anyway.
+func (net *Network) Now() int64 { return net.now }
+
+// newIndex is a pure computation: no allocation, no annotation needed.
+func newIndex(row, col, cols int) int {
+	return row*cols + col
+}
+
+// newSuppressed shows the ignore path.
+func newSuppressed() []int64 {
+	//lint:ignore resetcoverage golden test for the suppression path
+	return make([]int64, 8)
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/catnap-noc/catnap/internal/analysis/hotpathalloc"
 	"github.com/catnap-noc/catnap/internal/analysis/missingdoc"
 	"github.com/catnap-noc/catnap/internal/analysis/nodeterminism"
+	"github.com/catnap-noc/catnap/internal/analysis/resetcoverage"
 	"github.com/catnap-noc/catnap/internal/analysis/stagingdiscipline"
 	"github.com/catnap-noc/catnap/internal/analysis/tracercontract"
 )
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		hotpathalloc.Analyzer,
 		stagingdiscipline.Analyzer,
 		tracercontract.Analyzer,
+		resetcoverage.Analyzer,
 		missingdoc.Analyzer,
 	}
 }

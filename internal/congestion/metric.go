@@ -226,8 +226,24 @@ type RCSEnergy struct {
 }
 
 // NewDetector builds a detector over net with cfg. Zero-valued cfg fields
-// fall back to Default(cfg.Metric) semantics.
+// fall back to Default(cfg.Metric) semantics. Like noc.New, it is a thin
+// shell over Reset, so a reset detector and a fresh one run identical
+// construction code.
+//
+//catnap:reset-covered every per-run structure is built by Reset itself
 func NewDetector(net *noc.Network, cfg Config) *Detector {
+	d := &Detector{rcsE: &RCSEnergy{}}
+	d.Reset(net, cfg)
+	return d
+}
+
+// Reset rewinds the detector in place to the state NewDetector(net, cfg)
+// would produce, reusing every shape-compatible slab. The installed
+// tracer is cleared (callers re-install hooks after a reset, exactly as
+// after construction); the RCSEnergy counter struct is retained with its
+// counts zeroed. net may be the same network after its own Reset, or a
+// different one.
+func (d *Detector) Reset(net *noc.Network, cfg Config) {
 	def := Default(cfg.Metric)
 	if cfg.Threshold == 0 {
 		cfg.Threshold = def.Threshold
@@ -246,36 +262,60 @@ func NewDetector(net *noc.Network, cfg Config) *Detector {
 	}
 
 	mesh := net.Topo()
-	d := &Detector{
-		cfg:     cfg,
-		net:     net,
-		rcsE:    &RCSEnergy{},
-		subnets: net.Subnets(),
-		nodes:   mesh.Nodes(),
-		regions: mesh.Regions(),
-	}
-	d.lcs = make([]bool, d.subnets*d.nodes)
-	d.lastHot = make([]int64, d.subnets*d.nodes)
+	d.cfg = cfg
+	d.net = net
+	*d.rcsE = RCSEnergy{}
+	d.tracer = nil
+	d.subnets = net.Subnets()
+	d.nodes = mesh.Nodes()
+	d.regions = mesh.Regions()
+
+	d.lcs = resetSlice(d.lcs, d.subnets*d.nodes)
+	d.lastHot = resetSlice(d.lastHot, d.subnets*d.nodes)
 	for i := range d.lastHot {
 		d.lastHot[i] = -1 << 62
 	}
-	d.rcs = make([]bool, d.subnets*d.regions)
-	d.prevInjected = make([]int64, d.nodes)
-	d.prevBlocked = make([]int64, d.subnets*d.nodes)
-	d.prevGranted = make([]int64, d.subnets*d.nodes)
-	d.rate = make([]float64, d.subnets*d.nodes)
-	d.nodeRegion = make([]int, d.nodes)
+	d.rcs = resetSlice(d.rcs, d.subnets*d.regions)
+	d.refScan = false
+	d.epoch = 0
+	d.winStart = 0
+	d.prevInjected = resetSlice(d.prevInjected, d.nodes)
+	d.prevBlocked = resetSlice(d.prevBlocked, d.subnets*d.nodes)
+	d.prevGranted = resetSlice(d.prevGranted, d.subnets*d.nodes)
+	d.rate = resetSlice(d.rate, d.subnets*d.nodes)
+	d.nodeRegion = resetSlice(d.nodeRegion, d.nodes)
 	for n := 0; n < d.nodes; n++ {
 		d.nodeRegion[n] = mesh.Region(n)
 	}
 	words := (d.nodes + 63) / 64
-	d.lcsBits = make([][]uint64, d.subnets)
-	d.hotBits = make([][]uint64, d.subnets)
-	for s := range d.lcsBits {
-		d.lcsBits[s] = make([]uint64, words)
-		d.hotBits[s] = make([]uint64, words)
+	if cap(d.lcsBits) >= d.subnets {
+		d.lcsBits = d.lcsBits[:d.subnets]
+		d.hotBits = d.hotBits[:d.subnets]
+	} else {
+		grownL := make([][]uint64, d.subnets)
+		copy(grownL, d.lcsBits)
+		d.lcsBits = grownL
+		grownH := make([][]uint64, d.subnets)
+		copy(grownH, d.hotBits)
+		d.hotBits = grownH
 	}
-	return d
+	for s := range d.lcsBits {
+		d.lcsBits[s] = resetSlice(d.lcsBits[s], words)
+		d.hotBits[s] = resetSlice(d.hotBits[s], words)
+	}
+	d.orScratch = resetSlice(d.orScratch, d.regions)
+}
+
+// resetSlice returns s resized to n elements with every element zeroed,
+// reusing the backing array when it is large enough (the congestion-side
+// twin of the noc package's helper).
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s) // bulk typed memclr: one barrier sweep, not one per element
+	return s
 }
 
 // SetReferenceScan switches the detector between the incremental

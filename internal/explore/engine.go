@@ -61,6 +61,10 @@ type Options struct {
 	Jobs     int
 	Timeout  time.Duration
 	Progress runner.Progress
+	// WorkerState is passed through to runner.Options.WorkerState for
+	// each round, giving evaluators per-worker reusable state (the root
+	// package threads a simulator pool here).
+	WorkerState func() any
 }
 
 // Validate checks every engine knob, naming the offending field.
@@ -229,7 +233,7 @@ func Run(ctx context.Context, ev Evaluator, opts Options) (*Result, error) {
 				},
 			}
 		}
-		out, err := runner.Run(ctx, points, runner.Options{Jobs: opts.Jobs, Timeout: opts.Timeout, Progress: opts.Progress})
+		out, err := runner.Run(ctx, points, runner.Options{Jobs: opts.Jobs, Timeout: opts.Timeout, Progress: opts.Progress, WorkerState: opts.WorkerState})
 		if err != nil {
 			// Cancelled mid-batch: the checkpoint still carries this batch
 			// as pending, and every completed point is in the cache, so a

@@ -192,6 +192,10 @@ func (p *diffProbe) scanCheck(now int64) {
 // its deadline — on a quiescent network the deadline then lands inside
 // what the skipping arm would fast-forward over.
 type diffOpts struct {
+	// net, when non-nil, runs the scenario on this network instead of
+	// building a fresh one — the reset differential suite passes a
+	// previously used, Reset network here to prove reuse is bit-identical.
+	net          *noc.Network
 	gating       string
 	parallel     bool
 	ref          bool
@@ -223,11 +227,16 @@ func diffRun(t *testing.T, gating string, parallel, ref bool, sched traffic.Sche
 
 func diffRunWith(t *testing.T, o diffOpts) diffFingerprint {
 	t.Helper()
-	cfg := testConfig(8, 8, 4, 128)
-	net, err := noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
-	if err != nil {
-		t.Fatal(err)
+	net := o.net
+	if net == nil {
+		cfg := testConfig(8, 8, 4, 128)
+		var err error
+		net, err = noc.New(cfg, core.NewRRSelector(cfg.Nodes()))
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
+	cfg := net.Config()
 	tr := &diffTracer{}
 	net.SetPowerTracer(tr)
 

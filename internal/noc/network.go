@@ -25,7 +25,11 @@ import (
 // another router's same-cycle decisions: the simulation is deterministic
 // and order-independent within a phase.
 type Network struct {
-	cfg       *Config
+	cfg *Config
+	// pre is the shared immutable precompute for cfg's topology shape
+	// (topology object, feeder table); see precompute.go. Swapped by
+	// Reset when the shape changes, never mutated.
+	pre       *precomp
 	topo      topology.Topology
 	localPort int
 	subnets   []*Subnet
@@ -104,33 +108,16 @@ type Network struct {
 // New builds a network from cfg with the given subnet selector. cfg is
 // copied; the selector must be non-nil. Power gating is disabled until
 // SetGatingPolicy is called.
+//
+// New is a thin shell over Reset: it allocates the network, the reusable
+// step-worker pool, and the pre-bound phase closures (which index
+// n.subnets at call time, so they survive in-place resets), then lets
+// Reset build every per-run structure. A reset network and a fresh one
+// therefore run identical construction code.
+//
+//catnap:reset-covered every per-run structure is built by Reset itself
 func New(cfg Config, selector SubnetSelector) (*Network, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if selector == nil {
-		return nil, fmt.Errorf("noc: nil subnet selector")
-	}
-	topo := cfg.topology()
-	n := &Network{
-		cfg:        &cfg,
-		topo:       topo,
-		localPort:  topo.Radix() - 1,
-		selector:   selector,
-		latency:    stats.NewLatency(0),
-		netLatency: stats.NewLatency(0),
-	}
-	n.subnets = make([]*Subnet, cfg.Subnets)
-	for s := range n.subnets {
-		n.subnets[s] = newSubnet(n, s)
-	}
-	n.nis = make([]*NI, cfg.Nodes())
-	for i := range n.nis {
-		n.nis[i] = newNI(n, i)
-	}
-	n.niQBits = make([]uint64, (cfg.Nodes()+63)/64)
-	n.niWorkBits = make([]uint64, (cfg.Nodes()+63)/64)
-	n.flitsPerSubnet = make([]int64, cfg.Subnets)
+	n := &Network{}
 	n.pool = runner.NewStepPool(0, 0)
 	n.shardFn = func(i int) {
 		t := n.shardTasks[i]
@@ -145,6 +132,9 @@ func New(cfg Config, selector SubnetSelector) (*Network, error) {
 		s := n.subnets[i]
 		s.applyCommits(n.phaseNow)
 		s.powerPhase(n.phaseNow)
+	}
+	if err := n.Reset(cfg, selector); err != nil {
+		return nil, err
 	}
 	return n, nil
 }
@@ -264,6 +254,7 @@ func (n *Network) Now() int64 { return n.now }
 // ExecMode.PacketRecycling for the lifetime caveat.
 //
 //catnap:hotpath called once per injected packet
+//catnap:reset-covered packets live in queues/wheels Reset clears; the freelist is retained and every recycled packet is fully overwritten here
 func (n *Network) NewPacket(src, dst int, class MsgClass, sizeBits int) *Packet {
 	ni := n.nis[src]
 	var p *Packet

@@ -120,24 +120,10 @@ type NI struct {
 	activeScratch []bool
 }
 
-func newNI(net *Network, node int) *NI {
-	cfg := net.cfg
-	ni := &NI{net: net, node: node}
-	ni.channels = make([]subnetChannel, cfg.Subnets)
-	for s := range ni.channels {
-		ch := &ni.channels[s]
-		ch.streams = make([]pktStream, cfg.VCs)
-		ch.credits = make([]int, cfg.VCs)
-		ch.busy = make([]bool, cfg.VCs)
-		for v := range ch.credits {
-			ch.credits[v] = cfg.VCDepth
-		}
-	}
-	ni.FlitsPerSubnet = make([]int64, cfg.Subnets)
-	ni.readyScratch = make([]bool, cfg.Subnets)
-	ni.activeScratch = make([]bool, cfg.Subnets)
-	return ni
-}
+// NIs are built (and rebuilt) exclusively by NI.reset in reset.go, which
+// Network.Reset drives for fresh shells and reused instances alike; there
+// is deliberately no separate constructor whose initialization could
+// drift from the reset path.
 
 // enqueue admits a freshly created packet into the source queue.
 //

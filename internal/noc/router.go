@@ -72,7 +72,11 @@ func (v *vcState) push(f flit) {
 //catnap:hotpath
 func (v *vcState) pop() flit {
 	f := v.q[v.head]
-	v.q[v.head].pkt = nil // do not retain the packet past its dequeue
+	// Zero the whole slot, not just the packet pointer: dequeued packets
+	// must not be retained, and keeping drained slots pristine lets a
+	// same-shape reset sweep only the live ring spans instead of
+	// bulk-clearing the subnet's entire flit pool.
+	v.q[v.head] = flit{}
 	v.head = (v.head + 1) % len(v.q)
 	v.count--
 	return f
@@ -175,17 +179,22 @@ type Router struct {
 	cq *commitQueue
 }
 
-// init wires the router into its subnet at the given node. All port,
-// VC, flit-ring, credit, and scratch storage is carved out of the
-// subnet's contiguous pools (allocated once in newSubnet), so routers
-// own views, not allocations.
-func (r *Router) init(sub *Subnet, node int) {
+// wire builds the router's shape-pure state: the slice views carved out
+// of the subnet's contiguous pools (allocated once per shape in
+// Subnet.reset) and the link-derived port constants. Everything wire
+// writes is a pure function of the subnet's wireShape, so Subnet.reset
+// re-runs it only when the shape changes; rearm handles the run-state
+// values on every reset. wire serves fresh construction and shape-changing
+// reset alike: the caller hands it a zeroed Router (optionally carrying a
+// retained CSC tracker) over freshly zeroed pools.
+//
+//catnap:reset-covered Subnet.reset zeroes the router and re-runs wire+rearm; same-shape resets re-run rearm over the retained views
+func (r *Router) wire(sub *Subnet, node int) {
 	cfg := sub.net.cfg
 	topo := sub.net.topo
 	radix := sub.radix
 	r.sub = sub
 	r.node = node
-	r.csc = stats.NewCSC(int64(cfg.TBreakeven))
 	pb := node * radix
 	r.in = sub.inPool[pb : pb+radix : pb+radix]
 	r.out = sub.outPool[pb : pb+radix : pb+radix]
@@ -200,7 +209,6 @@ func (r *Router) init(sub *Subnet, node int) {
 		for v := range ip.vcs {
 			qb := (vb + v) * cfg.VCDepth
 			ip.vcs[v].q = sub.flitPool[qb : qb+cfg.VCDepth : qb+cfg.VCDepth]
-			ip.vcs[v].outVC = -1
 		}
 		op := &r.out[p]
 		op.downstream = -1
@@ -209,15 +217,45 @@ func (r *Router) init(sub *Subnet, node int) {
 				op.downstream = peer
 				op.downInPort = peerPort
 				op.credits = sub.outCredits[vb : vb+cfg.VCs : vb+cfg.VCs]
-				for v := range op.credits {
-					op.credits[v] = int32(cfg.VCDepth)
-				}
 				op.busy = sub.busyPool[vb : vb+cfg.VCs : vb+cfg.VCs]
 			}
 		} else {
 			op.busy = sub.busyPool[vb : vb+cfg.VCs : vb+cfg.VCs]
 		}
 	}
+}
+
+// rearm rewinds the router's run state to cycle 0 through the existing
+// views: per-port occupancy and round-robin cursors, downstream credit
+// values, the incremental counters, and the retained CSC tracker. It runs
+// on every reset — after wire on a shape change, alone when the shape is
+// unchanged — and is the single place cycle-0 router values are defined.
+// The flit rings, VC states, busy flags, and grant scratch it does not
+// touch are swept by Subnet.reset directly through the backing pools.
+func (r *Router) rearm(cfg *Config) {
+	if r.csc == nil {
+		r.csc = stats.NewCSC(int64(cfg.TBreakeven))
+	} else {
+		r.csc.Reset(int64(cfg.TBreakeven))
+	}
+	for p := range r.in {
+		r.in[p].occupancy = 0
+	}
+	for p := range r.out {
+		op := &r.out[p]
+		op.rr = 0
+		for v := range op.credits {
+			op.credits[v] = int32(cfg.VCDepth)
+		}
+	}
+	r.wakeAt = 0
+	r.sleptAt = 0
+	r.totalOcc = 0
+	r.maxPortOcc = 0
+	r.blockedFlitCycles = 0
+	r.grantedFlits = 0
+	r.vaRR = 0
+	r.cq = nil
 	r.emptySince = 0
 	r.checkAt = -1
 }

@@ -81,6 +81,7 @@ type shardPlan struct {
 	masks [][]uint64
 }
 
+//catnap:reset-covered Network.Reset tears sharding down via applyShards(0) before rebuilding, so plans never outlive the run that configured them
 func newShardPlan(rows, cols, count int) *shardPlan {
 	nodes := rows * cols
 	words := (nodes + 63) / 64

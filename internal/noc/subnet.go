@@ -1,6 +1,10 @@
 package noc
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"github.com/catnap-noc/catnap/internal/topology"
+)
 
 // arrival is a flit staged on a link, due to be written into a router's
 // input buffer at a specific cycle.
@@ -49,7 +53,9 @@ type Subnet struct {
 
 	// feeder[node][inPort] is the upstream (router, output port) feeding
 	// that input port; input ports with no feeder (local, edges) hold
-	// node == -1.
+	// node == -1. Points into the shared immutable precompute for the
+	// network's topology shape (precompute.go): identical for every
+	// subnet and every same-shape network, read-only after construction.
 	feeder [][]feederLink
 
 	// Staged-event wheels, indexed by cycle % wheelSize. All delays are
@@ -134,68 +140,27 @@ type Subnet struct {
 	flitPool  []flit
 	busyPool  []bool
 	grantPool []bool
+
+	// wired is the shape the pools and router views above were last built
+	// for. Subnet.reset rebuilds the wiring (pool sizes, slice views,
+	// link-derived port constants) only when this changes; a same-shape
+	// reset sweeps just the run-state values through the existing views.
+	// The topo field compares by identity, which the shared precompute
+	// cache makes canonical per shape.
+	wired wireShape
 }
 
-func newSubnet(net *Network, index int) *Subnet {
-	s := &Subnet{net: net, index: index, events: &PowerEvents{}}
-	cfg := net.cfg
-	s.wheelSize = cfg.RouterDelay + cfg.LinkDelay + cfg.CreditDelay + 4
-	s.arrivals = make([][]arrival, s.wheelSize)
-	s.credits = make([][]credit, s.wheelSize)
-	s.niCredits = make([][]niCredit, s.wheelSize)
-	s.ejections = make([][]ejection, s.wheelSize)
-	s.routers = make([]Router, cfg.Nodes())
-	words := (cfg.Nodes() + 63) / 64
-	s.occBits = make([]uint64, words)
-	s.wakingBits = make([]uint64, words)
-	s.asleepBits = make([]uint64, words)
-	s.blockedBits = make([]uint64, words)
-	s.pollBits = make([]uint64, words)
-	s.dueBits = make([]uint64, words)
-	s.workBits = make([]uint64, words)
-	s.stateCount[PowerActive] = cfg.Nodes()
-	s.bfmHist = make([]int32, cfg.VCs*cfg.VCDepth+1)
-	s.bfmHist[0] = int32(cfg.Nodes())
-	checkSpan := cfg.TIdleDetect + 2
-	s.checkWheel = make([][]int32, checkSpan)
-	s.lastEpoch = ^uint64(0)
-	radix := net.topo.Radix()
-	s.radix = radix
-	nodes := cfg.Nodes()
-	s.pstate = make([]PowerState, nodes) // zero value: every router active
-	s.occSlots = make([]uint64, nodes)
-	s.lastBusy = make([]int64, nodes)
-	for n := range s.lastBusy {
-		s.lastBusy[n] = -1 // never busy yet: idle(now) == now+1 == now-emptySince+1
-	}
-	s.pinnedUntil = make([]int64, nodes)
-	s.inPool = make([]inputPort, nodes*radix)
-	s.outPool = make([]outputPort, nodes*radix)
-	s.vcPool = make([]vcState, nodes*radix*cfg.VCs)
-	s.flitPool = make([]flit, nodes*radix*cfg.VCs*cfg.VCDepth)
-	s.outCredits = make([]int32, nodes*radix*cfg.VCs)
-	s.busyPool = make([]bool, nodes*radix*cfg.VCs)
-	s.grantPool = make([]bool, nodes*radix)
-	for n := range s.routers {
-		s.routers[n].init(s, n)
-	}
-	// Build the reverse link table for credit returns.
-	s.feeder = make([][]feederLink, cfg.Nodes())
-	for n := range s.feeder {
-		s.feeder[n] = make([]feederLink, radix)
-		for p := range s.feeder[n] {
-			s.feeder[n][p] = feederLink{node: -1}
-		}
-	}
-	for n := 0; n < cfg.Nodes(); n++ {
-		for p := 0; p < radix-1; p++ {
-			if peer, peerPort, ok := net.topo.Link(n, p); ok {
-				s.feeder[peer][peerPort] = feederLink{node: n, port: p}
-			}
-		}
-	}
-	return s
+// wireShape keys the shape-pure wiring of a subnet: everything Router.wire
+// derives is a pure function of these inputs.
+type wireShape struct {
+	nodes, radix, vcs, vcdepth int
+	topo                       topology.Topology
 }
+
+// Subnets are built (and rebuilt) exclusively by Subnet.reset in
+// reset.go, which Network.Reset drives for fresh shells and reused
+// instances alike; there is deliberately no separate constructor whose
+// initialization could drift from the reset path.
 
 // Router returns the router at node n (read-mostly access for congestion
 // metrics, policies, and tests).

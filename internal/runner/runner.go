@@ -62,6 +62,25 @@ type Options struct {
 	// Progress receives serialized per-point start/finish/error events;
 	// nil disables reporting.
 	Progress Progress
+	// WorkerState, when non-nil, is called once per worker goroutine and
+	// its result is made available to every point that worker runs via
+	// WorkerState(ctx). It is the hook simulator-reuse pools ride on: the
+	// state is owned by one worker at a time, so points may mutate it
+	// without synchronization, but must not retain it past their return.
+	WorkerState func() any
+}
+
+// workerStateKey is the context key carrying a worker's WorkerState value.
+type workerStateKey struct{}
+
+// WorkerState returns the per-worker state installed by
+// Options.WorkerState for the worker running this point, or nil when the
+// sweep did not configure any.
+func WorkerState(ctx context.Context) any {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Value(workerStateKey{})
 }
 
 // Run executes every point across the worker pool and returns one
@@ -89,9 +108,16 @@ func Run[T any](ctx context.Context, points []Point[T], opts Options) ([]Outcome
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wctx := ctx
+			if opts.WorkerState != nil {
+				// One state value per worker, shared by every point this
+				// worker runs — consecutive points can recycle what the
+				// previous point warmed up (e.g. a simulator pool).
+				wctx = context.WithValue(ctx, workerStateKey{}, opts.WorkerState())
+			}
 			for i := range idx {
 				em.start(i, points[i].Label)
-				out[i] = runPoint(ctx, points[i], i, opts.Timeout)
+				out[i] = runPoint(wctx, points[i], i, opts.Timeout)
 				finishOutcome(em, out[i])
 			}
 		}()

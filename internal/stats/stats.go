@@ -40,6 +40,19 @@ func NewLatency(maxSamples int) *Latency {
 	return &Latency{min: math.MaxInt64, samples: make([]int32, 0, maxSamples), every: 1}
 }
 
+// Reset empties the accumulator in place, keeping the reservoir's backing
+// array so a reused simulator observes into warm memory.
+func (l *Latency) Reset() {
+	l.count = 0
+	l.sum = 0
+	l.sumSq = 0
+	l.min = math.MaxInt64
+	l.max = 0
+	l.samples = l.samples[:0]
+	l.every = 1
+	l.sorted = nil
+}
+
 // Observe records one latency in cycles.
 func (l *Latency) Observe(cycles int64) {
 	l.count++
@@ -225,6 +238,12 @@ type CSC struct {
 // NewCSC returns a tracker with the given break-even threshold in cycles.
 func NewCSC(breakeven int64) *CSC {
 	return &CSC{breakeven: breakeven}
+}
+
+// Reset returns the tracker to its just-constructed state with the given
+// break-even threshold, as NewCSC would.
+func (c *CSC) Reset(breakeven int64) {
+	*c = CSC{breakeven: breakeven}
 }
 
 // accrue brings the totals up to date with the open sleep period at now.

@@ -173,6 +173,43 @@ func TestReaderEmptyInput(t *testing.T) {
 	}
 }
 
+// TestReaderTruncatedGzip cuts a gzipped trace off mid-stream and checks
+// the reader reports the corruption instead of silently returning the
+// prefix as a complete trace — a truncated campaign artifact (killed
+// run, full disk) must not summarize as a shorter-but-valid one.
+func TestReaderTruncatedGzip(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.WithGzip())
+	for i := 0; i < 200; i++ {
+		w.Write(&noc.Packet{ID: uint64(i), SizeBits: 512, NumFlits: 4,
+			CreateTime: int64(i), ArriveTime: int64(i + 20)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Cut inside the deflate body (and its trailing CRC): NewReader still
+	// sees a valid header, so the damage must surface from Each.
+	for _, cut := range []int{len(whole) / 2, len(whole) - 1} {
+		r, err := trace.NewReader(bytes.NewReader(whole[:cut]))
+		if err != nil {
+			t.Fatalf("NewReader on body truncated at %d/%d: %v", cut, len(whole), err)
+		}
+		err = r.Each(func(trace.Record) error { return nil })
+		if err == nil {
+			t.Errorf("truncation at %d/%d bytes read as a clean EOF", cut, len(whole))
+		}
+		r.Close()
+	}
+
+	// Cut inside the gzip header: the magic bytes survive, so the reader
+	// commits to gzip and must fail constructing the decompressor.
+	if _, err := trace.NewReader(bytes.NewReader(whole[:4])); err == nil {
+		t.Error("truncated gzip header accepted by NewReader")
+	}
+}
+
 func TestSummarizeGzip(t *testing.T) {
 	var buf bytes.Buffer
 	w := trace.NewWriter(&buf, trace.WithGzip())

@@ -1,0 +1,42 @@
+package catnap
+
+// SimPool recycles one Simulator across consecutive sweep points so that
+// repeated evaluation reuses the network's slab allocations instead of
+// rebuilding them per point (see DESIGN.md §4i). A pool is owned by
+// exactly one worker goroutine and is not safe for concurrent use; the
+// sweep engine creates one per worker via runner.Options.WorkerState and
+// point closures fetch it back with runner.WorkerState(ctx).
+//
+// Reuse is bit-identical to fresh construction: Simulator.Reset rewinds
+// every mutable structure to the New state (the reset differential suite
+// asserts per-cycle state equality), so pooled and unpooled runs of the
+// same seed produce byte-identical results.
+type SimPool struct {
+	sim *Simulator
+}
+
+// NewSimPool returns an empty pool.
+func NewSimPool() *SimPool { return &SimPool{} }
+
+// Get returns a simulator configured exactly as New(cfg) would, resetting
+// the pooled instance in place when one exists. A nil pool degrades to
+// plain construction, so call sites need no reuse-mode branching. If an
+// in-place reset fails past config validation (not reachable with
+// validated configs), the instance is discarded and a fresh simulator is
+// built and pooled in its place.
+func (p *SimPool) Get(cfg Config) (*Simulator, error) {
+	if p != nil && p.sim != nil {
+		if err := p.sim.Reset(cfg); err == nil {
+			return p.sim, nil
+		}
+		p.sim = nil
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
+		p.sim = sim
+	}
+	return sim, nil
+}

@@ -56,27 +56,86 @@ type measureSnapshot struct {
 }
 
 // New builds a simulator from cfg (defaults are applied in place of zero
-// fields).
+// fields). Like noc.New, it is a thin shell over Reset: a fresh simulator
+// and a reset one run identical wiring code, which is what makes pooled
+// reuse (SimPool) bit-identical to fresh construction.
 func New(cfg Config) (*Simulator, error) {
-	cfg.ApplyDefaults()
-	ncfg := cfg.nocConfig()
-	net, err := noc.New(ncfg, core.NewRRSelector(ncfg.Nodes()))
-	if err != nil {
+	s := &Simulator{}
+	if err := s.Reset(cfg); err != nil {
 		return nil, err
 	}
-	s := &Simulator{Cfg: cfg, Net: net}
+	return s, nil
+}
 
-	if cfg.needsDetector() {
-		if !congestion.ValidKind(cfg.Metric) {
-			return nil, fmt.Errorf("catnap: unknown congestion metric %d", cfg.Metric)
+// Reset rewinds the simulator in place to the state New(cfg) would
+// produce: the network and congestion detector are reset in place
+// (reusing every shape-compatible allocation), the policies, execution
+// mode, power model, and measurement sink are rewired from cfg, and any
+// attached traffic generator or system model is detached. Configuration
+// errors detectable before mutation leave the simulator unchanged; a
+// later wiring error (not reachable with validated configs) leaves it in
+// an undefined state and it must be discarded — SimPool.Get does exactly
+// that, falling back to New.
+func (s *Simulator) Reset(cfg Config) error {
+	cfg.ApplyDefaults()
+	ncfg := cfg.nocConfig()
+	needsDet := cfg.needsDetector()
+
+	// Pre-validate everything that only depends on cfg, so an invalid
+	// config cannot leave a half-reset simulator behind.
+	if needsDet && !congestion.ValidKind(cfg.Metric) {
+		return fmt.Errorf("catnap: unknown congestion metric %d", cfg.Metric)
+	}
+	switch cfg.Selector {
+	case SelectorRR, SelectorRandom:
+	case SelectorCatnap:
+		if !needsDet {
+			return fmt.Errorf("catnap: Catnap selector requires a congestion detector")
 		}
+	default:
+		return fmt.Errorf("catnap: unknown selector kind %d", cfg.Selector)
+	}
+	switch cfg.Gating {
+	case GatingOff, GatingBaseline:
+	case GatingCatnap:
+		if !needsDet {
+			return fmt.Errorf("catnap: Catnap gating requires a congestion detector")
+		}
+	default:
+		return fmt.Errorf("catnap: unknown gating kind %d", cfg.Gating)
+	}
+
+	if s.Net == nil {
+		net, err := noc.New(ncfg, core.NewRRSelector(ncfg.Nodes()))
+		if err != nil {
+			return err
+		}
+		s.Net = net
+	} else if err := s.Net.Reset(ncfg, core.NewRRSelector(ncfg.Nodes())); err != nil {
+		return err
+	}
+	s.Cfg = cfg
+	s.gen = nil
+	s.sys = nil
+	s.measuring = false
+	s.winLatency = nil
+	s.winNetLat = nil
+	s.start = measureSnapshot{}
+
+	if needsDet {
 		dcfg := congestion.Default(cfg.Metric)
 		if cfg.MetricThreshold > 0 {
 			dcfg.Threshold = cfg.MetricThreshold
 		}
 		dcfg.UseRCS = !cfg.LocalOnly
-		s.Det = congestion.NewDetector(net, dcfg)
-		net.AddObserver(s.Det)
+		if s.Det == nil {
+			s.Det = congestion.NewDetector(s.Net, dcfg)
+		} else {
+			s.Det.Reset(s.Net, dcfg)
+		}
+		s.Net.AddObserver(s.Det)
+	} else {
+		s.Det = nil
 	}
 
 	var selector noc.SubnetSelector
@@ -86,29 +145,19 @@ func New(cfg Config) (*Simulator, error) {
 	case SelectorRandom:
 		selector = core.NewRandomSelector(sim.NewRNG(cfg.Seed ^ 0x5e1ec7))
 	case SelectorCatnap:
-		if s.Det == nil {
-			return nil, fmt.Errorf("catnap: Catnap selector requires a congestion detector")
-		}
 		selector = core.NewCatnapSelector(s.Det, ncfg.Nodes())
-	default:
-		return nil, fmt.Errorf("catnap: unknown selector kind %d", cfg.Selector)
 	}
 	if cfg.OrderedForward && cfg.Subnets > 1 {
 		selector = &core.OrderedSelector{Class: noc.ClassForward, Subnet: 0, Fallback: selector}
 	}
-	net.SetSelector(selector)
+	s.Net.SetSelector(selector)
 
 	switch cfg.Gating {
 	case GatingOff:
 	case GatingBaseline:
-		net.SetGatingPolicy(core.BaselineGating{})
+		s.Net.SetGatingPolicy(core.BaselineGating{})
 	case GatingCatnap:
-		if s.Det == nil {
-			return nil, fmt.Errorf("catnap: Catnap gating requires a congestion detector")
-		}
-		net.SetGatingPolicy(core.NewCatnapGating(s.Det))
-	default:
-		return nil, fmt.Errorf("catnap: unknown gating kind %d", cfg.Gating)
+		s.Net.SetGatingPolicy(core.NewCatnapGating(s.Det))
 	}
 
 	shards := 0
@@ -126,24 +175,24 @@ func New(cfg Config) (*Simulator, error) {
 	// Shard-affine dispatch is on whenever sharding is: the Simulator's
 	// workloads step the same busy set cycle after cycle, which is
 	// exactly the access pattern affinity rewards.
-	if err := net.SetExecMode(noc.ExecMode{
+	if err := s.Net.SetExecMode(noc.ExecMode{
 		Parallel:        cfg.ParallelSubnets,
 		Shards:          shards,
 		ShardAffinity:   shards > 0,
 		PacketRecycling: true,
 		IdleSkip:        !cfg.NoIdleSkip,
 	}); err != nil {
-		return nil, err
+		return err
 	}
-	s.Model = power.NewModel(cfg.powerParams(), net.Config(), cfg.VoltageV)
+	s.Model = power.NewModel(cfg.powerParams(), s.Net.Config(), cfg.VoltageV)
 
-	net.AddSink(func(now int64, p *noc.Packet) {
+	s.Net.AddSink(func(now int64, p *noc.Packet) {
 		if s.measuring {
 			s.winLatency.Observe(p.Latency())
 			s.winNetLat.Observe(p.NetworkLatency())
 		}
 	})
-	return s, nil
+	return nil
 }
 
 // EnableTrace streams a JSONL record for every delivered packet to w
