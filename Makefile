@@ -17,12 +17,14 @@ check: build lint test check-race race bench-telemetry bench-core
 
 # lint is the single static-analysis entry point: go vet plus the
 # in-tree catnap-lint suite (nodeterminism, hotpathalloc,
-# stagingdiscipline, tracercontract, missingdoc — see DESIGN.md
-# "Static analysis"). catnap-lint also fails on malformed or unused
-# //lint:ignore directives, so stale suppressions cannot linger.
+# stagingdiscipline, tracercontract, contractflow, resetcoverage,
+# missingdoc — see DESIGN.md "Static analysis"). -time prints the
+# per-analyzer wall-time breakdown so a slow check is attributable.
+# catnap-lint also fails on malformed or unused //lint:ignore
+# directives, so stale suppressions cannot linger.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/catnap-lint ./...
+	$(GO) run ./cmd/catnap-lint -time ./...
 
 # check-race runs the noc + congestion + root differential suites under
 # the race detector: the sharded router phase, parallel subnets, mid-run

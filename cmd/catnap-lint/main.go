@@ -7,9 +7,11 @@
 //
 // Usage:
 //
-//	catnap-lint [-checks name,name] [-list] [packages]
+//	catnap-lint [-checks name,name] [-list] [-time] [packages]
 //
-// With no packages, ./... is analyzed. Exit status 1 means findings (or
+// With no packages, ./... is analyzed. -time prints a per-analyzer
+// wall-time breakdown after the run (make lint passes it, so slow
+// checks are attributable in the log). Exit status 1 means findings (or
 // malformed/stale //lint:ignore directives); suppress a finding with
 //
 //	//lint:ignore <analyzer> <reason>
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/catnap-noc/catnap/internal/analysis"
 	"github.com/catnap-noc/catnap/internal/analysis/suite"
@@ -36,6 +39,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	timings := fs.Bool("time", false, "print per-analyzer wall time after the run")
 	dir := fs.String("C", ".", "module directory to analyze from")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,14 +53,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 	if *checks != "" {
-		analyzers = suite.ByName(strings.Split(*checks, ","))
-		if analyzers == nil {
-			var names []string
-			for _, a := range suite.All() {
-				names = append(names, a.Name)
-			}
-			fmt.Fprintf(stderr, "catnap-lint: unknown analyzer in -checks %q (have %s)\n",
-				*checks, strings.Join(names, ", "))
+		var err error
+		analyzers, err = suite.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintf(stderr, "catnap-lint: -checks: %v\n", err)
 			return 2
 		}
 	}
@@ -75,10 +75,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags, runErr := analysis.Run(pkgs, analyzers)
+	diags, times, runErr := analysis.RunTimed(pkgs, analyzers)
 	fset := pkgs[0].Fset // Load type-checks every package on one FileSet
 	for _, d := range diags {
 		fmt.Fprintf(stdout, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if *timings {
+		for _, tm := range times {
+			fmt.Fprintf(stdout, "analyzer %-18s %v\n", tm.Name, tm.Elapsed.Round(time.Millisecond))
+		}
 	}
 	if runErr != nil {
 		fmt.Fprintf(stderr, "catnap-lint: %v\n", runErr)

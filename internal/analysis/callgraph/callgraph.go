@@ -1,0 +1,741 @@
+// Package callgraph builds a static call graph over a set of loaded,
+// type-checked packages (internal/analysis.Package) for the contract
+// propagation pass (contractflow). It is deliberately scoped: nodes are
+// the functions, methods, and function literals *declared in the given
+// package universe*; calls that leave the universe (into the standard
+// library, internal/stats, ...) produce no edges. Within the universe
+// the graph is a sound over-approximation of the runtime call relation:
+//
+//   - static calls and concrete method calls produce exact edges;
+//   - interface method calls produce edges to every method of every
+//     universe type that satisfies the interface (structural matching by
+//     fully-qualified signature strings, so satisfaction is recognised
+//     across independently type-checked packages, where types.Implements
+//     would compare unrelated object instances);
+//   - calls through function values (fields, variables, parameters)
+//     produce edges to every *address-taken* function or literal in the
+//     universe with an identical signature — a function never referenced
+//     as a value cannot be called through one;
+//   - `go f(...)` and `defer f(...)` are calls; go-spawned callees are
+//     additionally marked (they root new goroutines, which matters for
+//     entry-point classification).
+//
+// Because each package is type-checked against gc export data rather
+// than in one shared type universe, *types.Func pointer identity does
+// not hold across packages: the same noc function is a different object
+// seen from telemetry's imports. Nodes are therefore keyed by the
+// stable "<pkgpath>.<recv>.<name>" string, which is identical however
+// the function is reached.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+// EdgeKind classifies how a call site reaches its callee.
+type EdgeKind int
+
+// Edge kinds, from most to least precise.
+const (
+	KindStatic    EdgeKind = iota // direct function or concrete-method call
+	KindInterface                 // interface method call (over-approximated)
+	KindFuncValue                 // call through a function value (over-approximated)
+	KindGo                        // go statement (static resolution, new goroutine)
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindInterface:
+		return "interface"
+	case KindFuncValue:
+		return "func-value"
+	case KindGo:
+		return "go"
+	}
+	return "unknown"
+}
+
+// Node is one function, method, or function literal declared in the
+// universe.
+type Node struct {
+	// Key is the stable cross-package identity: "<pkgpath>.<recv>.<name>"
+	// for declared functions, "<pkgpath>.<file>:<line>" for literals.
+	Key string
+	// Decl is the declaration, nil for function literals and the
+	// synthetic per-package init node.
+	Decl *ast.FuncDecl
+	// Lit is the literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Parent is the enclosing node for literals (the function whose body
+	// lexically contains them), nil otherwise.
+	Parent *Node
+	// PkgPath is the declaring package's import path.
+	PkgPath string
+	// Pos is the declaration (or literal) position.
+	Pos token.Pos
+	// GoSpawned marks functions that appear as the callee of a go
+	// statement somewhere in the universe: they root goroutines and are
+	// therefore entry points even without in-graph callers.
+	GoSpawned bool
+	// Out and In are the call edges, sorted by call-site position.
+	Out []*Edge
+	In  []*Edge
+
+	name string
+}
+
+// IsLiteral reports whether the node is a function literal.
+func (n *Node) IsLiteral() bool { return n.Lit != nil }
+
+// Name returns a short human-readable name: "(*Router).route" for
+// methods, "NewPacket" for functions, "func@router.go:42" for literals.
+func (n *Node) Name() string { return n.name }
+
+// Edge is one call site: From's body calls To at Pos.
+type Edge struct {
+	From, To *Node
+	Pos      token.Pos
+	Kind     EdgeKind
+}
+
+// Graph is the package-universe call graph.
+type Graph struct {
+	// Nodes in deterministic order (package path, then position).
+	Nodes []*Node
+	// Fset positions every node and edge.
+	Fset *token.FileSet
+
+	byKey map[string]*Node
+}
+
+// NodeByKey returns the node with the given stable key, or nil.
+func (g *Graph) NodeByKey(key string) *Node { return g.byKey[key] }
+
+// FuncKey returns the stable cross-package key for a declared function
+// or method, or "" when it has no package (builtins, error.Error).
+func FuncKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Pkg().Path() + ".?." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// qualifier prints package paths in full so type strings are comparable
+// across independently type-checked packages.
+func qualifier(p *types.Package) string { return p.Path() }
+
+// sigString renders a signature with the receiver stripped and every
+// parameter and result name erased, fully qualified — the structural
+// identity used for interface-satisfaction and function-value matching.
+// Name erasure matters: types.TypeString keeps declared names, so the
+// field type `func(int)` and the literal `func(i int)` would otherwise
+// print differently and never match.
+func sigString(sig *types.Signature) string {
+	norm := types.NewSignatureType(nil, nil, nil,
+		unnamedTuple(sig.Params()), unnamedTuple(sig.Results()), sig.Variadic())
+	return types.TypeString(norm, qualifier)
+}
+
+// unnamedTuple rebuilds a parameter/result tuple with blank names,
+// keeping only the types.
+func unnamedTuple(t *types.Tuple) *types.Tuple {
+	if t == nil || t.Len() == 0 {
+		return nil
+	}
+	vars := make([]*types.Var, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+	}
+	return types.NewTuple(vars...)
+}
+
+// methodID qualifies unexported method names by package so they only
+// match within their declaring package, mirroring the spec's method-set
+// rules.
+func methodID(pkg *types.Package, name string) string {
+	if !token.IsExported(name) && pkg != nil {
+		return pkg.Path() + "." + name
+	}
+	return name
+}
+
+// ifaceCall records one unresolved interface method call.
+type ifaceCall struct {
+	from *Node
+	pos  token.Pos
+	kind EdgeKind
+	id   string // methodID of the called method
+	sig  string // sigString of the called method
+}
+
+// fvCall records one unresolved call through a function value.
+type fvCall struct {
+	from *Node
+	pos  token.Pos
+	kind EdgeKind
+	sig  string
+}
+
+// builder accumulates graph state across packages.
+type builder struct {
+	fset  *token.FileSet
+	graph *Graph
+	// concrete named types declared in the universe, for interface
+	// resolution: methodSets[typeKey] maps methodID -> (sigString, FuncKey).
+	methodSets []methodSet
+	// addrTaken maps a declared function's key to true when it is
+	// referenced as a value anywhere in the universe.
+	addrTaken map[string]bool
+	// addrTakenIfaces holds interface method values (`x.M` with x an
+	// interface, not called): every satisfying implementation's method
+	// becomes address-taken at resolution time.
+	addrTakenIfaces []ifaceCall
+	ifaceCalls      []ifaceCall
+	fvCalls         []fvCall
+	// litsBySig groups literal nodes by signature string for
+	// function-value resolution.
+	litsBySig map[string][]*Node
+	// declSigs maps a declared function's key to its receiver-stripped
+	// signature string.
+	declSigs map[string]string
+}
+
+type methodSet struct {
+	pkgPath string
+	typeKey string
+	methods map[string]methodInfo // methodID -> info
+}
+
+type methodInfo struct {
+	sig     string
+	funcKey string
+}
+
+// Build constructs the call graph over every package for which inScope
+// returns true. Packages outside the scope contribute neither nodes nor
+// resolution candidates.
+func Build(pkgs []*analysis.Package, inScope func(pkgPath string) bool) *Graph {
+	var scoped []*analysis.Package
+	for _, p := range pkgs {
+		if inScope(p.Path) {
+			scoped = append(scoped, p)
+		}
+	}
+	b := &builder{
+		graph:     &Graph{byKey: make(map[string]*Node)},
+		addrTaken: make(map[string]bool),
+		litsBySig: make(map[string][]*Node),
+		declSigs:  make(map[string]string),
+	}
+	if len(scoped) > 0 {
+		b.fset = scoped[0].Fset
+		b.graph.Fset = scoped[0].Fset
+	}
+	// Pass 1: declare nodes and collect the concrete-type method sets.
+	for _, pkg := range scoped {
+		b.declare(pkg)
+	}
+	// Pass 2: walk bodies, emitting static edges and recording
+	// interface / function-value calls for resolution.
+	for _, pkg := range scoped {
+		b.walkPackage(pkg)
+	}
+	b.resolve()
+	b.finish()
+	return b.graph
+}
+
+// declare registers a node per function declaration and records the
+// method sets of the package's named types.
+func (b *builder) declare(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := FuncKey(fn)
+			if key == "" || b.graph.byKey[key] != nil {
+				continue
+			}
+			n := &Node{
+				Key:     key,
+				Decl:    fd,
+				PkgPath: pkg.Path,
+				Pos:     fd.Name.Pos(),
+				name:    declName(fn),
+			}
+			b.graph.byKey[key] = n
+			b.graph.Nodes = append(b.graph.Nodes, n)
+			b.declSigs[key] = sigString(fn.Type().(*types.Signature))
+		}
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		ms := methodSet{
+			pkgPath: pkg.Path,
+			typeKey: pkg.Path + "." + tn.Name(),
+			methods: make(map[string]methodInfo),
+		}
+		// The pointer method set includes value-receiver methods, so it
+		// is the most permissive satisfaction check; interface values of
+		// value type are a subset.
+		mset := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < mset.Len(); i++ {
+			m, ok := mset.At(i).Obj().(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			ms.methods[methodID(m.Pkg(), m.Name())] = methodInfo{
+				sig:     sigString(sig),
+				funcKey: FuncKey(m),
+			}
+		}
+		b.methodSets = append(b.methodSets, ms)
+	}
+}
+
+// declName renders a declared function's display name.
+func declName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// walkPackage walks every function body and package-level initializer.
+func (b *builder) walkPackage(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+				if !ok || d.Body == nil {
+					continue
+				}
+				n := b.graph.byKey[FuncKey(fn)]
+				if n == nil {
+					continue
+				}
+				b.walkBody(pkg, n, d.Body)
+			case *ast.GenDecl:
+				// Package-level initializers can reference functions
+				// (address-taken) and contain literals; attribute them to
+				// a synthetic per-package init node.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						b.walkBody(pkg, b.initNode(pkg, v.Pos()), v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// initNode returns (creating on first use) the package's synthetic
+// initializer node.
+func (b *builder) initNode(pkg *analysis.Package, pos token.Pos) *Node {
+	key := pkg.Path + ".<init>"
+	if n := b.graph.byKey[key]; n != nil {
+		return n
+	}
+	n := &Node{Key: key, PkgPath: pkg.Path, Pos: pos, name: "<init>"}
+	b.graph.byKey[key] = n
+	b.graph.Nodes = append(b.graph.Nodes, n)
+	return n
+}
+
+// walkBody walks one body (or initializer expression), attributing call
+// sites to cur, descending into literals with their own nodes.
+func (b *builder) walkBody(pkg *analysis.Package, cur *Node, body ast.Node) {
+	// funs collects the expressions occupying call position, so the
+	// address-taken scan below can tell `f()` from `g(f)`.
+	funs := make(map[ast.Expr]bool)
+	var walk func(n ast.Node, cur *Node)
+	walk = func(n ast.Node, cur *Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				lit := b.litNode(pkg, cur, x)
+				walk(x.Body, lit)
+				return false
+			case *ast.GoStmt:
+				b.call(pkg, cur, x.Call, KindGo)
+				funs[unparen(x.Call.Fun)] = true
+				for _, a := range x.Call.Args {
+					walk(a, cur)
+				}
+				walk(x.Call.Fun, cur) // selector base may contain calls
+				return false
+			case *ast.CallExpr:
+				b.call(pkg, cur, x, KindStatic)
+				funs[unparen(x.Fun)] = true
+				return true
+			case *ast.Ident:
+				if !funs[x] {
+					b.identRef(pkg, x)
+				}
+			case *ast.SelectorExpr:
+				// Handle selectors manually and never descend into Sel: the
+				// method-name ident resolves to a *types.Func via Info.Uses,
+				// and letting the generic ident case see it would mark every
+				// *called* method address-taken.
+				if !funs[x] {
+					b.selectorRef(pkg, x)
+				}
+				walk(x.X, cur)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, cur)
+}
+
+// litNode creates the node for one function literal.
+func (b *builder) litNode(pkg *analysis.Package, parent *Node, lit *ast.FuncLit) *Node {
+	pos := b.fset.Position(lit.Pos())
+	key := fmt.Sprintf("%s.%s:%d:%d", pkg.Path, filepath.Base(pos.Filename), pos.Line, pos.Column)
+	n := &Node{
+		Key:     key,
+		Lit:     lit,
+		Parent:  parent,
+		PkgPath: pkg.Path,
+		Pos:     lit.Pos(),
+		name:    fmt.Sprintf("func@%s:%d", filepath.Base(pos.Filename), pos.Line),
+	}
+	b.graph.byKey[key] = n
+	b.graph.Nodes = append(b.graph.Nodes, n)
+	if sig, ok := pkg.Info.TypeOf(lit).(*types.Signature); ok {
+		s := sigString(sig)
+		b.litsBySig[s] = append(b.litsBySig[s], n)
+	}
+	return n
+}
+
+// identRef marks a plain identifier referencing a function in value
+// position as address-taken.
+func (b *builder) identRef(pkg *analysis.Package, e *ast.Ident) {
+	if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+		if key := FuncKey(fn); key != "" {
+			b.addrTaken[key] = true
+		}
+	}
+}
+
+// selectorRef marks a selector referencing a function or method in value
+// position (method value, method expression, package-qualified function)
+// as address-taken. Interface method values make every satisfying
+// implementation address-taken at resolution time.
+func (b *builder) selectorRef(pkg *analysis.Package, e *ast.SelectorExpr) {
+	sel := pkg.Info.Selections[e]
+	if sel == nil {
+		// Package-qualified reference pkg.F in value position.
+		if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			if key := FuncKey(fn); key != "" {
+				b.addrTaken[key] = true
+			}
+		}
+		return
+	}
+	switch sel.Kind() {
+	case types.MethodVal, types.MethodExpr:
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		if recvIsInterface(sel) {
+			if sig, ok := fn.Type().(*types.Signature); ok {
+				b.addrTakenIfaces = append(b.addrTakenIfaces, ifaceCall{
+					id:  methodID(fn.Pkg(), fn.Name()),
+					sig: sigString(sig),
+				})
+			}
+			return
+		}
+		if key := FuncKey(fn); key != "" {
+			b.addrTaken[key] = true
+		}
+	}
+}
+
+// call classifies one call expression and records the edge (static) or
+// the pending resolution (interface / function value).
+func (b *builder) call(pkg *analysis.Package, from *Node, call *ast.CallExpr, kind EdgeKind) {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	fun := unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[f].(type) {
+		case *types.Builtin, nil:
+			return
+		case *types.Func:
+			b.staticEdge(from, obj, call.Pos(), kind)
+			return
+		default:
+			// Variable or parameter of function type.
+			b.funcValueCall(pkg, from, call, kind)
+			return
+		}
+	case *ast.SelectorExpr:
+		sel := pkg.Info.Selections[f]
+		if sel == nil {
+			// Package-qualified call pkg.F(...) or pkg.Var(...).
+			switch obj := pkg.Info.Uses[f.Sel].(type) {
+			case *types.Func:
+				b.staticEdge(from, obj, call.Pos(), kind)
+			default:
+				b.funcValueCall(pkg, from, call, kind)
+			}
+			return
+		}
+		switch sel.Kind() {
+		case types.MethodVal:
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if recvIsInterface(sel) {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					b.ifaceCalls = append(b.ifaceCalls, ifaceCall{
+						from: from,
+						pos:  call.Pos(),
+						kind: ifaceKind(kind),
+						id:   methodID(fn.Pkg(), fn.Name()),
+						sig:  sigString(sig),
+					})
+				}
+				return
+			}
+			b.staticEdge(from, fn, call.Pos(), kind)
+			return
+		case types.FieldVal:
+			// Call through a struct field of function type.
+			b.funcValueCall(pkg, from, call, kind)
+			return
+		case types.MethodExpr:
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				b.staticEdge(from, fn, call.Pos(), kind)
+			}
+			return
+		}
+	default:
+		// Call of a call result, index expression, etc.: a function
+		// value of some shape.
+		b.funcValueCall(pkg, from, call, kind)
+	}
+}
+
+// ifaceKind preserves the go-statement marker through interface calls.
+func ifaceKind(k EdgeKind) EdgeKind {
+	if k == KindGo {
+		return KindGo
+	}
+	return KindInterface
+}
+
+// funcValueCall records a call through a function value for resolution
+// against the address-taken set.
+func (b *builder) funcValueCall(pkg *analysis.Package, from *Node, call *ast.CallExpr, kind EdgeKind) {
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	k := KindFuncValue
+	if kind == KindGo {
+		k = KindGo
+	}
+	b.fvCalls = append(b.fvCalls, fvCall{from: from, pos: call.Pos(), kind: k, sig: sigString(sig)})
+}
+
+// staticEdge adds a direct edge when the callee is declared in the
+// universe; out-of-universe callees are dropped.
+func (b *builder) staticEdge(from *Node, fn *types.Func, pos token.Pos, kind EdgeKind) {
+	to := b.graph.byKey[FuncKey(fn)]
+	if to == nil || from == nil {
+		return
+	}
+	e := &Edge{From: from, To: to, Pos: pos, Kind: kind}
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+	if kind == KindGo {
+		to.GoSpawned = true
+	}
+}
+
+// recvIsInterface reports whether a method selection dispatches through
+// an interface.
+func recvIsInterface(sel *types.Selection) bool {
+	return types.IsInterface(sel.Recv())
+}
+
+// resolve turns the recorded interface and function-value calls into
+// over-approximated edges.
+func (b *builder) resolve() {
+	// Interface method values make implementations address-taken.
+	for _, iv := range b.addrTakenIfaces {
+		for _, ms := range b.methodSets {
+			if mi, ok := ms.methods[iv.id]; ok && mi.sig == iv.sig {
+				b.addrTaken[mi.funcKey] = true
+			}
+		}
+	}
+	// Interface calls: edge to every universe method with the same
+	// (possibly package-qualified) name and identical signature. This is
+	// name+signature matching rather than full interface satisfaction:
+	// strictly coarser, therefore still sound as an over-approximation,
+	// and robust across independently type-checked packages.
+	for _, ic := range b.ifaceCalls {
+		for _, ms := range b.methodSets {
+			mi, ok := ms.methods[ic.id]
+			if !ok || mi.sig != ic.sig {
+				continue
+			}
+			if to := b.graph.byKey[mi.funcKey]; to != nil {
+				e := &Edge{From: ic.from, To: to, Pos: ic.pos, Kind: ic.kind}
+				ic.from.Out = append(ic.from.Out, e)
+				to.In = append(to.In, e)
+				if ic.kind == KindGo {
+					to.GoSpawned = true
+				}
+			}
+		}
+	}
+	// Function-value calls: edge to every address-taken declared
+	// function and every literal with an identical signature.
+	for _, fc := range b.fvCalls {
+		for key := range b.addrTaken {
+			if b.declSigs[key] != fc.sig {
+				continue
+			}
+			if to := b.graph.byKey[key]; to != nil {
+				e := &Edge{From: fc.from, To: to, Pos: fc.pos, Kind: fc.kind}
+				fc.from.Out = append(fc.from.Out, e)
+				to.In = append(to.In, e)
+				if fc.kind == KindGo {
+					to.GoSpawned = true
+				}
+			}
+		}
+		for _, to := range b.litsBySig[fc.sig] {
+			e := &Edge{From: fc.from, To: to, Pos: fc.pos, Kind: fc.kind}
+			fc.from.Out = append(fc.from.Out, e)
+			to.In = append(to.In, e)
+			if fc.kind == KindGo {
+				to.GoSpawned = true
+			}
+		}
+	}
+}
+
+// finish sorts nodes and edges into deterministic order and deduplicates
+// parallel edges (same from, to, and position).
+func (b *builder) finish() {
+	g := b.graph
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		if g.Nodes[i].PkgPath != g.Nodes[j].PkgPath {
+			return g.Nodes[i].PkgPath < g.Nodes[j].PkgPath
+		}
+		return g.Nodes[i].Pos < g.Nodes[j].Pos
+	})
+	for _, n := range g.Nodes {
+		n.Out = dedupe(n.Out)
+		n.In = dedupe(n.In)
+	}
+}
+
+// dedupe sorts edges by (pos, to-key) and removes duplicates.
+func dedupe(edges []*Edge) []*Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Pos != edges[j].Pos {
+			return edges[i].Pos < edges[j].Pos
+		}
+		if edges[i].To.Key != edges[j].To.Key {
+			return edges[i].To.Key < edges[j].To.Key
+		}
+		return edges[i].From.Key < edges[j].From.Key
+	})
+	var out []*Edge
+	for _, e := range edges {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if last.Pos == e.Pos && last.To == e.To && last.From == e.From {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ChainString renders a call chain for diagnostics: "Step → routeOne →
+// newGrantSet".
+func ChainString(chain []*Node) string {
+	names := make([]string, len(chain))
+	for i, n := range chain {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " → ")
+}

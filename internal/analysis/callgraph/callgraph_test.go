@@ -1,0 +1,103 @@
+package callgraph
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	pkg, err := analysis.LoadDir("internal/noc", "testdata/src/internal/noc", ".")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	return Build([]*analysis.Package{pkg}, func(p string) bool {
+		return analysis.PackageInScope(p, "internal/noc")
+	})
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// edgesTo returns n's out-edges of the given kind, by target name.
+func edgesTo(n *Node, kind EdgeKind) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range n.Out {
+		if e.Kind == kind {
+			out[e.To.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestStaticAndMethodEdges(t *testing.T) {
+	g := buildTestGraph(t)
+	root := nodeByName(t, g, "Root")
+	static := edgesTo(root, KindStatic)
+	for _, want := range []string{"sub", "(*mesh).dispatch"} {
+		if !static[want] {
+			t.Errorf("Root: missing static edge to %s (have %v)", want, static)
+		}
+	}
+}
+
+func TestGoEdgeMarksSpawned(t *testing.T) {
+	g := buildTestGraph(t)
+	root := nodeByName(t, g, "Root")
+	if !edgesTo(root, KindGo)["spin"] {
+		t.Fatalf("Root: missing go edge to spin")
+	}
+	if !nodeByName(t, g, "spin").GoSpawned {
+		t.Errorf("spin: GoSpawned not set")
+	}
+}
+
+// TestFuncValueResolution pins down two resolver invariants at once:
+// the dispatch through mesh.fn must reach the stored literal even
+// though the literal names its parameter and the field type does not
+// (signature normalization), and it must NOT reach onlyCalled, which
+// shares the signature but is only ever called, never address-taken.
+func TestFuncValueResolution(t *testing.T) {
+	g := buildTestGraph(t)
+	dispatch := nodeByName(t, g, "(*mesh).dispatch")
+	var fvTargets []*Node
+	for _, e := range dispatch.Out {
+		if e.Kind == KindFuncValue {
+			fvTargets = append(fvTargets, e.To)
+		}
+	}
+	if len(fvTargets) != 1 {
+		names := make([]string, len(fvTargets))
+		for i, n := range fvTargets {
+			names[i] = n.Name()
+		}
+		t.Fatalf("dispatch: want exactly 1 func-value target (the stored literal), got %v", names)
+	}
+	lit := fvTargets[0]
+	if !lit.IsLiteral() {
+		t.Fatalf("dispatch: func-value target %s is not a literal", lit.Name())
+	}
+	// Literal pass-through: the literal's own static callee is leaf.
+	if !edgesTo(lit, KindStatic)["leaf"] {
+		t.Errorf("literal: missing static edge to leaf")
+	}
+}
+
+func TestCalledFunctionNotAddressTaken(t *testing.T) {
+	g := buildTestGraph(t)
+	only := nodeByName(t, g, "onlyCalled")
+	for _, e := range only.In {
+		if e.Kind != KindStatic {
+			t.Errorf("onlyCalled: unexpected %v in-edge from %s — a call must not make its callee address-taken", e.Kind, e.From.Name())
+		}
+	}
+}

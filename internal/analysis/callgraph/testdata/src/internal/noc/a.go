@@ -1,0 +1,40 @@
+// Package noc is the callgraph builder's golden test package: one
+// construct per edge kind, plus the two resolution subtleties the
+// builder must get right — signature matching ignores parameter names,
+// and a call never makes its callee address-taken.
+package noc
+
+type mesh struct {
+	fn func(int)
+}
+
+// Root exercises static calls, method calls, go statements, and
+// function-value wiring in one reachable body.
+func Root() {
+	sub()
+	m := &mesh{}
+	// The literal names its parameter; the field type does not. The
+	// dispatch edge must still resolve (signatures are compared with
+	// parameter names stripped).
+	m.fn = func(i int) { leaf() }
+	m.dispatch()
+	go spin()
+}
+
+func sub() {}
+
+func leaf() {}
+
+func (m *mesh) dispatch() {
+	m.fn(0)
+}
+
+func spin() {}
+
+// onlyCalled shares the literal's signature but is merely called, never
+// referenced as a value: it must NOT become a function-value target.
+func onlyCalled(i int) {}
+
+// Caller invokes onlyCalled in call position (both forms: plain ident
+// and package-qualified selectors elsewhere resolve the same way).
+func Caller() { onlyCalled(1) }

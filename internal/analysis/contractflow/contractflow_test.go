@@ -1,0 +1,11 @@
+package contractflow
+
+import (
+	"testing"
+
+	"github.com/catnap-noc/catnap/internal/analysis/analysistest"
+)
+
+func TestContractflow(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/noc")
+}

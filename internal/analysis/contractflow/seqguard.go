@@ -1,0 +1,208 @@
+package contractflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/catnap-noc/catnap/internal/analysis"
+)
+
+// Sequential-path recognition: stagingdiscipline licenses direct writes
+// in shard-phase functions wherever the commit queue is provably nil —
+// the body of `if cq == nil`, the else branch of `if cq != nil`, and
+// the statements after an `if cq != nil { ...; return }` early exit.
+// The shard-phase *propagation* honours exactly the same regions: a
+// call that only executes sequentially imposes no shard-phase
+// obligation on its callee. (The quiescent-only reachability check
+// deliberately does NOT use this filter — shard-phase functions run
+// mid-cycle in either mode.)
+//
+// sequentialCallPositions walks every //catnap:shard-phase function in
+// the loaded packages with the same nil-branch classification
+// stagingdiscipline applies and returns the set of call positions that
+// sit in commit-queue-nil regions.
+func sequentialCallPositions(pkgs []*analysis.Package) map[token.Pos]bool {
+	seq := make(map[token.Pos]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !analysis.HasAnnotation(fd, "shard-phase") {
+					continue
+				}
+				w := &seqWalker{info: pkg.Info, seq: seq}
+				w.block(fd.Body.List, false)
+			}
+		}
+	}
+	return seq
+}
+
+// seqWalker tracks the commit-queue-nil state through one function.
+type seqWalker struct {
+	info *types.Info
+	seq  map[token.Pos]bool
+}
+
+func (w *seqWalker) block(stmts []ast.Stmt, cqNil bool) {
+	for _, s := range stmts {
+		cqNil = w.stmt(s, cqNil)
+	}
+}
+
+// stmt visits one statement and returns the nil-state holding after it.
+func (w *seqWalker) stmt(s ast.Stmt, cqNil bool) bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, cqNil)
+		}
+		w.collect(s.Cond, cqNil)
+		switch nilTest(w.info, s.Cond) {
+		case cqNotNil:
+			w.block(s.Body.List, false)
+			if s.Else != nil {
+				w.elseStmt(s.Else, true)
+			}
+			if terminates(s.Body) {
+				return true
+			}
+			return cqNil
+		case cqIsNil:
+			w.block(s.Body.List, true)
+			if s.Else != nil {
+				w.elseStmt(s.Else, false)
+			}
+			return cqNil
+		default:
+			w.block(s.Body.List, cqNil)
+			if s.Else != nil {
+				w.elseStmt(s.Else, cqNil)
+			}
+			return cqNil
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, cqNil)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, cqNil)
+		}
+		if s.Cond != nil {
+			w.collect(s.Cond, cqNil)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, cqNil)
+		}
+		w.block(s.Body.List, cqNil)
+	case *ast.RangeStmt:
+		w.collect(s.X, cqNil)
+		w.block(s.Body.List, cqNil)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, cqNil)
+		}
+		if s.Tag != nil {
+			w.collect(s.Tag, cqNil)
+		}
+		for _, cc := range s.Body.List {
+			w.block(cc.(*ast.CaseClause).Body, cqNil)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			w.block(cc.(*ast.CaseClause).Body, cqNil)
+		}
+	default:
+		w.collect(s, cqNil)
+	}
+	return cqNil
+}
+
+func (w *seqWalker) elseStmt(s ast.Stmt, cqNil bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s.List, cqNil)
+	default:
+		w.stmt(s, cqNil)
+	}
+}
+
+// collect records every call position under n when the region is
+// commit-queue-nil. Literal bodies are skipped: their calls belong to
+// the literal's own node, which executes whenever the literal is
+// invoked, not where it is defined.
+func (w *seqWalker) collect(n ast.Node, cqNil bool) {
+	if !cqNil || n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.seq[x.Pos()] = true
+		}
+		return true
+	})
+}
+
+// nil-test classification against *commitQueue variables, mirroring
+// stagingdiscipline.
+type nilKind int
+
+const (
+	cqNone nilKind = iota
+	cqIsNil
+	cqNotNil
+)
+
+func nilTest(info *types.Info, cond ast.Expr) nilKind {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return cqNone
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) || !isCommitQueuePtr(info, x) {
+		return cqNone
+	}
+	if bin.Op == token.EQL {
+		return cqIsNil
+	}
+	return cqNotNil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+func isCommitQueuePtr(info *types.Info, e ast.Expr) bool {
+	p, ok := info.TypeOf(e).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "commitQueue"
+}
+
+// terminates reports whether the block's last statement unconditionally
+// leaves the enclosing block.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+// Package noc is contractflow's golden test package: one example per
+// propagation mechanism (direct call, method call, interface call,
+// function value), the shard-phase sequential-path exemption, the
+// quiescent-only reachability check, stale-annotation detection, and
+// call-site suppression.
+package noc
+
+// --- direct calls -----------------------------------------------------
+
+// Step is a hotpath root; its direct callees must join the closure.
+//
+//catnap:hotpath
+func Step() {
+	covered()
+	helper() // want `helper is reachable from //catnap:hotpath code \(Step → helper\) but is not annotated`
+}
+
+//catnap:hotpath
+func covered() {}
+
+func helper() {}
+
+// --- method calls -----------------------------------------------------
+
+type ring struct{ n int }
+
+//catnap:hotpath
+func (r *ring) Advance() {
+	r.bump() // want `\(\*ring\)\.bump is reachable from //catnap:hotpath code`
+}
+
+func (r *ring) bump() { r.n++ }
+
+// --- interface calls (sound over-approximation) -----------------------
+
+type ticker interface{ Tick() }
+
+type clock struct{}
+
+func (clock) Tick() {}
+
+// Drive dispatches through an interface: the closure must cover every
+// in-universe implementation with a matching method.
+//
+//catnap:hotpath
+func Drive(t ticker) {
+	t.Tick() // want `\(clock\)\.Tick is reachable from //catnap:hotpath code`
+}
+
+// --- function values --------------------------------------------------
+
+// Dispatch invokes through a function value: every address-taken
+// function with the same signature is a possible callee.
+//
+//catnap:hotpath
+func Dispatch() {
+	fn := target
+	fn() // want `target is reachable from //catnap:hotpath code \(Dispatch → target\)`
+}
+
+func target() {}
+
+// --- suppression prunes the frontier ----------------------------------
+
+//catnap:hotpath
+func Grow() {
+	//lint:ignore contractflow one-time growth; amortised over the run
+	expand()
+}
+
+func expand() {}
+
+// --- worker-safe propagation ------------------------------------------
+
+//catnap:worker-safe
+func Scan() {
+	unsafeHelper() // want `unsafeHelper is reachable from //catnap:worker-safe code`
+}
+
+func unsafeHelper() {}
+
+// --- shard-phase: boundary and sequential-path exemption --------------
+
+type commitQueue struct{ n int }
+
+type router struct{ cq *commitQueue }
+
+// Phase stages through the commit queue; calls on the proven-sequential
+// cq == nil path carry no shard-phase obligation.
+//
+//catnap:shard-phase
+func (r *router) Phase() {
+	if r.cq == nil {
+		seqOnly() // sequential path: exempt
+		return
+	}
+	stage()  // ok: staging-safe boundary stops propagation
+	staged() // want `staged is reachable from //catnap:shard-phase code`
+}
+
+func seqOnly() {}
+
+//catnap:staging-safe audited boundary
+func stage() {
+	beyondBoundary() // ok: boundaries do not propagate
+}
+
+func beyondBoundary() {}
+
+func staged() {}
+
+// --- quiescent-only must not be reachable from shard-phase ------------
+
+//catnap:quiescent-only assumes the clock sits between cycles
+func drain() {}
+
+//catnap:shard-phase
+func (r *router) BadPhase() {
+	if r.cq != nil {
+		drain() // want `drain is reachable from //catnap:shard-phase code` `//catnap:quiescent-only drain is reachable from shard-phase root \(\*router\)\.BadPhase`
+	}
+}
+
+// --- stale annotations ------------------------------------------------
+
+// orphan's annotation asserts membership in the hotpath closure, but no
+// hotpath function calls it anymore.
+//
+//catnap:hotpath
+func orphan() {} // want `stale //catnap:hotpath on orphan`
+
+// exported functions are never stale: external callers are invisible.
+//
+//catnap:hotpath
+func Exported() {}

@@ -21,12 +21,25 @@ type ignoreSet struct {
 
 const ignorePrefix = "//lint:ignore"
 
-// collectIgnores scans every comment in the package for ignore
-// directives. Malformed directives (missing analyzer name or reason) are
-// returned as error strings so the driver can fail loudly instead of
-// silently not suppressing.
-func collectIgnores(pkg *Package) (ignoreSet, []string) {
+// collectAllIgnores merges every package's ignore directives into one
+// set keyed by file, so module-wide analyzers get the same suppression
+// semantics as per-package ones. File paths are unique across packages,
+// so the merge loses nothing.
+func collectAllIgnores(pkgs []*Package) (ignoreSet, []string) {
 	set := ignoreSet{byFile: make(map[string][]*ignoreDirective)}
+	var errs []string
+	for _, pkg := range pkgs {
+		ierrs := collectIgnores(pkg, set)
+		errs = append(errs, ierrs...)
+	}
+	return set, errs
+}
+
+// collectIgnores scans every comment in the package for ignore
+// directives, appending them into set. Malformed directives (missing
+// analyzer name or reason) are returned as error strings so the driver
+// can fail loudly instead of silently not suppressing.
+func collectIgnores(pkg *Package, set ignoreSet) []string {
 	var errs []string
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -53,7 +66,7 @@ func collectIgnores(pkg *Package) (ignoreSet, []string) {
 			}
 		}
 	}
-	return set, errs
+	return errs
 }
 
 // unused returns one error string per directive that names at least one

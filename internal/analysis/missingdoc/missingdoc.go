@@ -4,6 +4,12 @@
 // comments (EXPERIMENTS.md and README link straight into them). New
 // exported symbols land documented or not at all.
 //
+// The cmd/* main packages are held to the same bar: a main package has
+// no importers, so an exported identifier there is a deliberate signal
+// ("this helper is the command's real surface; main is just flag
+// plumbing") and the signal needs a doc comment saying what the helper
+// promises.
+//
 // A const/var/type group's doc comment covers every spec in the group
 // that lacks its own. Methods of exported types are checked too;
 // unexported receivers exempt their methods. Symbols grandfathered
@@ -14,6 +20,7 @@ package missingdoc
 
 import (
 	"go/ast"
+	"strings"
 
 	"github.com/catnap-noc/catnap/internal/analysis"
 )
@@ -21,7 +28,7 @@ import (
 // Analyzer is the missingdoc pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "missingdoc",
-	Doc:  "require doc comments on exported symbols of the root catnap package",
+	Doc:  "require doc comments on exported symbols of the root catnap package and the cmd/* main packages",
 	Run:  run,
 }
 
@@ -32,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 var allowlist = map[string]string{}
 
 func run(pass *analysis.Pass) error {
-	if !analysis.PackageInScope(pass.Pkg.Path(), "catnap") {
+	if !analysis.PackageInScope(pass.Pkg.Path(), "catnap") && !isCmdPackage(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -94,6 +101,12 @@ func checkGen(pass *analysis.Pass, gd *ast.GenDecl) {
 			}
 		}
 	}
+}
+
+// isCmdPackage reports whether path names one of the repository's cmd/
+// main packages (module-qualified or the short testdata form).
+func isCmdPackage(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
 }
 
 // receiverTypeName extracts the receiver's type name from *T, T, or

@@ -7,5 +7,5 @@ import (
 )
 
 func TestMissingdoc(t *testing.T) {
-	analysistest.Run(t, Analyzer, "catnap")
+	analysistest.Run(t, Analyzer, "catnap", "cmd/croak")
 }

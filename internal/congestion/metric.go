@@ -379,6 +379,7 @@ func (d *Detector) Congested(subnet, node int) bool {
 // skipped node would have sampled zero against a non-negative threshold
 // with its LCS already clear: a no-op in the reference scan too, so the
 // latched sequences are identical.
+//
 //catnap:hotpath runs in the observer phase every cycle
 func (d *Detector) AfterCycle(now int64) {
 	windowEnd := now-d.winStart >= d.cfg.WindowCycles

@@ -237,12 +237,16 @@ func (n *Network) Config() *Config { return n.cfg }
 func (n *Network) Topo() topology.Topology { return n.topo }
 
 // Subnet returns subnetwork s.
+//
+//catnap:hotpath
 func (n *Network) Subnet(s int) *Subnet { return n.subnets[s] }
 
 // Subnets returns the number of subnetworks.
 func (n *Network) Subnets() int { return len(n.subnets) }
 
 // NI returns the network interface of node i.
+//
+//catnap:hotpath
 func (n *Network) NI(i int) *NI { return n.nis[i] }
 
 // Now returns the current cycle (the cycle the next Step will execute).
@@ -372,6 +376,9 @@ func (n *Network) eject(now int64, node int, f flit) {
 }
 
 // niStreaming reports whether node's NI is mid-packet into subnet s.
+//
+//catnap:hotpath
+//catnap:worker-safe reads one NI's streaming bit inside the worker-dispatched power phase
 func (n *Network) niStreaming(s, node int) bool { return n.nis[node].streaming(s) }
 
 // FlushCSC closes all open sleep periods; call once before reading CSC.
@@ -392,6 +399,8 @@ func (n *Network) NetworkLatency() *stats.Latency { return n.netLatency }
 // Counts returns cumulative packet counters: created (entered a source
 // queue), injected (head flit entered a subnet), ejected (tail flit
 // delivered).
+//
+//catnap:hotpath
 func (n *Network) Counts() (created, injected, ejected int64) {
 	return n.createdPkts, n.injectedPkts, n.ejectedPkts
 }
@@ -445,15 +454,21 @@ func (n *Network) SubnetFlitShare() []float64 {
 
 // FlitsPerSubnet returns the network-wide injected flit count per subnet
 // (the sum of every NI's FlitsPerSubnet). Callers must not modify it.
+//
+//catnap:hotpath
 func (n *Network) FlitsPerSubnet() []int64 { return n.flitsPerSubnet }
 
 // NIQueueFlits returns the total bounded injection-queue occupancy over
 // all NIs, in flits.
+//
+//catnap:hotpath
 func (n *Network) NIQueueFlits() int { return n.niQueueFlits }
 
 // NIQueuedBits exposes a bitmap over node ids with bit n set iff node n's
 // bounded injection queue is nonempty; the IQOcc congestion metric
 // iterates it instead of polling every NI. Callers must not modify it.
+//
+//catnap:hotpath
 func (n *Network) NIQueuedBits() []uint64 { return n.niQBits }
 
 // setNIQueued maintains the nonempty-injection-queue bitmap; each NI

@@ -10,8 +10,10 @@ type pktQueue struct {
 	n    int
 }
 
+//catnap:hotpath
 func (q *pktQueue) len() int { return q.n }
 
+//catnap:hotpath
 func (q *pktQueue) front() *Packet { return q.buf[q.head] }
 
 //catnap:hotpath
@@ -60,6 +62,8 @@ type subnetChannel struct {
 }
 
 // freeSlot returns an idle stream index, or -1.
+//
+//catnap:hotpath
 func (ch *subnetChannel) freeSlot() int {
 	for i := range ch.streams {
 		if ch.streams[i].pkt == nil {
@@ -70,6 +74,8 @@ func (ch *subnetChannel) freeSlot() int {
 }
 
 // freeVC returns a free local-port VC within mask, or -1.
+//
+//catnap:hotpath
 func (ch *subnetChannel) freeVC(mask uint32) int {
 	for v := range ch.busy {
 		if mask&(1<<uint(v)) == 0 || ch.busy[v] {
@@ -134,6 +140,8 @@ func (ni *NI) enqueue(p *Packet) {
 
 // QueueOccupancyFlits returns the bounded injection queue's occupancy in
 // flits — the IQOcc congestion metric.
+//
+//catnap:hotpath
 func (ni *NI) QueueOccupancyFlits() int { return ni.injQFlits }
 
 // SourceQueueLen returns the unbounded source queue length in packets
@@ -142,6 +150,8 @@ func (ni *NI) SourceQueueLen() int { return ni.sourceQ.len() }
 
 // Backlogged reports whether this NI holds any packet that has not yet
 // fully entered the network.
+//
+//catnap:hotpath
 func (ni *NI) Backlogged() bool {
 	if ni.sourceQ.len() > 0 || ni.injQ.len() > 0 {
 		return true
@@ -156,6 +166,9 @@ func (ni *NI) Backlogged() bool {
 
 // streaming reports whether the NI is mid-packet into subnet s (the
 // subnet's local router must then stay awake).
+//
+//catnap:hotpath
+//catnap:worker-safe reads one NI channel's active counter inside the worker-dispatched power phase
 func (ni *NI) streaming(s int) bool { return ni.channels[s].active > 0 }
 
 // creditReturn gives back one buffer slot of the local router's input VC.

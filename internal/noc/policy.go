@@ -82,6 +82,9 @@ const (
 )
 
 // String returns the cause name used in telemetry events.
+//
+//catnap:hotpath
+//catnap:worker-safe returns static name strings
 func (c WakeCause) String() string {
 	switch c {
 	case WakeLookAhead:
@@ -155,6 +158,8 @@ func (e *PowerEvents) Sub(other *PowerEvents) {
 }
 
 // Add accumulates other into e.
+//
+//catnap:hotpath
 func (e *PowerEvents) Add(other *PowerEvents) {
 	e.BufferWrites += other.BufferWrites
 	e.BufferReads += other.BufferReads

@@ -56,8 +56,12 @@ type vcState struct {
 	crossed uint8
 }
 
+//catnap:hotpath
+//catnap:shard-phase reads own VC state
 func (v *vcState) empty() bool { return v.count == 0 }
 
+//catnap:hotpath
+//catnap:shard-phase reads own VC state
 func (v *vcState) front() *flit { return &v.q[v.head] }
 
 //catnap:hotpath
@@ -70,6 +74,7 @@ func (v *vcState) push(f flit) {
 }
 
 //catnap:hotpath
+//catnap:shard-phase mutates only the owning router's VC ring
 func (v *vcState) pop() flit {
 	f := v.q[v.head]
 	// Zero the whole slot, not just the packet pointer: dequeued packets
@@ -273,15 +278,22 @@ func (r *Router) PortOccupancy(p int) int { return r.in[p].occupancy }
 // MaxPortOccupancy returns the maximum buffered flit count over all input
 // ports — the paper's BFM local congestion metric. O(1): the counter is
 // maintained at deliver/traverse.
+//
+//catnap:hotpath
 func (r *Router) MaxPortOccupancy() int { return r.maxPortOcc }
 
 // TotalOccupancy returns the total buffered flits across all ports. O(1):
 // the counter is maintained at deliver/traverse.
+//
+//catnap:hotpath
 func (r *Router) TotalOccupancy() int { return r.totalOcc }
 
 // MaxPortOccupancyScan recomputes MaxPortOccupancy by scanning the ports.
 // It exists for the retained reference path and for consistency checks;
 // the hot paths use the incremental counter.
+//
+//catnap:hotpath
+//catnap:shard-phase reads own ports only
 func (r *Router) MaxPortOccupancyScan() int {
 	m := 0
 	for p := range r.in {
@@ -294,6 +306,9 @@ func (r *Router) MaxPortOccupancyScan() int {
 
 // TotalOccupancyScan recomputes TotalOccupancy by scanning the ports (see
 // MaxPortOccupancyScan).
+//
+//catnap:hotpath
+//catnap:worker-safe reads own router state inside the worker-dispatched power phase
 func (r *Router) TotalOccupancyScan() int {
 	t := 0
 	for p := range r.in {
@@ -304,6 +319,8 @@ func (r *Router) TotalOccupancyScan() int {
 
 // BlockingCounters returns the cumulative eligible-but-blocked flit cycles
 // and granted flits, for the Delay congestion metric.
+//
+//catnap:hotpath
 func (r *Router) BlockingCounters() (blockedCycles, granted int64) {
 	return r.blockedFlitCycles, r.grantedFlits
 }
@@ -358,6 +375,7 @@ func (r *Router) sleep(now, idle int64) {
 // and the next sleep-eligibility check is scheduled.
 //
 //catnap:hotpath
+//catnap:worker-safe runs inside the worker-dispatched power phase
 func (r *Router) completeWake(now int64) {
 	r.sub.pstate[r.node] = PowerActive
 	r.sub.onWakeDone(r.node)
@@ -525,6 +543,9 @@ func (r *Router) allocateOutVC(vc *vcState) {
 // dimBit returns the dateline bit of a mesh direction's ring (X rings
 // use bit 0, Y rings bit 1). Only torus configurations consult it, and
 // the torus is always the radix-5 mesh port layout.
+//
+//catnap:hotpath
+//catnap:shard-phase pure arithmetic
 func dimBit(p int) uint8 {
 	if p == int(topology.East) || p == int(topology.West) {
 		return 1 << 0

@@ -162,6 +162,7 @@ func (n *Network) TrySkipIdle(target int64) int64 {
 		return 0
 	}
 	to := target
+	//lint:ignore contractflow the skip machinery runs once per quiescent span, not per cycle; its cost amortises over the skipped cycles
 	if ev, ok := n.NextEventCycle(); ok && ev < to {
 		to = ev
 	}
@@ -170,6 +171,7 @@ func (n *Network) TrySkipIdle(target int64) int64 {
 		if !ok {
 			return 0 // per-cycle observer: correctness by veto
 		}
+		//lint:ignore contractflow once per quiescent span; see NextEventCycle above
 		next, ok := sk.NextIdleEvent(n.now)
 		if !ok {
 			return 0
@@ -187,6 +189,7 @@ func (n *Network) TrySkipIdle(target int64) int64 {
 		s.events.SleepRouterCycles += k * int64(s.stateCount[PowerAsleep])
 	}
 	for _, o := range n.obs {
+		//lint:ignore contractflow once per quiescent span; see NextEventCycle above
 		o.(IdleSkipper).SkipIdle(n.now, to)
 	}
 	n.now = to

@@ -164,11 +164,14 @@ type wireShape struct {
 
 // Router returns the router at node n (read-mostly access for congestion
 // metrics, policies, and tests).
+//
+//catnap:hotpath
 func (s *Subnet) Router(n int) *Router { return &s.routers[n] }
 
 // Events returns the subnet's switching-activity counters.
 func (s *Subnet) Events() *PowerEvents { return s.events }
 
+//catnap:hotpath
 func (s *Subnet) slot(cycle int64) int { return int(cycle % int64(s.wheelSize)) }
 
 //catnap:hotpath wheel append, amortised zero-alloc once warmed
@@ -351,6 +354,8 @@ func (s *Subnet) applyCommits(now int64) {
 // ShardBusy returns the per-shard processed-router counts of the most
 // recent sharded router phase (nil when sharding is off). Telemetry
 // samples it per cycle; callers must not modify it.
+//
+//catnap:hotpath
 func (s *Subnet) ShardBusy() []int32 { return s.shardBusy }
 
 // routerPhaseScan is the retained reference implementation: visit every
@@ -456,6 +461,7 @@ func (s *Subnet) powerPhase(now int64) {
 // every cycle.
 //
 //catnap:hotpath
+//catnap:worker-safe runs inside the worker-dispatched power phase
 func (s *Subnet) powerPhaseScan(now int64) {
 	for n := range s.routers {
 		s.routers[n].powerUpdate(now)
@@ -477,12 +483,16 @@ func (s *Subnet) ActiveRouters() int {
 
 // PowerStates returns the router counts in each power state; telemetry
 // samples it per cycle for the Figure 12-style power-state series. O(1).
+//
+//catnap:hotpath
 func (s *Subnet) PowerStates() (active, waking, asleep int) {
 	return s.stateCount[PowerActive], s.stateCount[PowerWaking], s.stateCount[PowerAsleep]
 }
 
 // BufferedFlits returns the total flits buffered across every router in
 // the subnet (the occupancy the BFA metric averages). O(1).
+//
+//catnap:hotpath
 func (s *Subnet) BufferedFlits() int { return s.bufferedFlits }
 
 // MaxBFM returns the maximum per-router BFM (max input-port occupancy)
@@ -490,6 +500,8 @@ func (s *Subnet) BufferedFlits() int { return s.bufferedFlits }
 // congestion metric. Amortized O(1): bfmMax only rises to the exact new
 // value on delivery and is lazily walked down over the router histogram
 // on reads after drains.
+//
+//catnap:hotpath
 func (s *Subnet) MaxBFM() int {
 	for s.bfmMax > 0 && s.bfmHist[s.bfmMax] == 0 {
 		s.bfmMax--
@@ -500,6 +512,8 @@ func (s *Subnet) MaxBFM() int {
 // OccupiedBits exposes the occupied-router bitmap (bit n of word n/64 set
 // iff router n buffers at least one flit). Congestion detection iterates
 // it instead of scanning the mesh; callers must not modify it.
+//
+//catnap:hotpath
 func (s *Subnet) OccupiedBits() []uint64 { return s.occBits }
 
 // PowerStatesScan recomputes PowerStates by scanning every router — the
@@ -570,7 +584,13 @@ func (s *Subnet) clearOccupied(n int) {
 // setBlocked / clearBlocked maintain the sleep-blocked set (idle long
 // enough to sleep, but the policy said no; re-evaluated on policy-epoch
 // changes instead of every cycle).
-func (s *Subnet) setBlocked(n int)   { s.blockedBits[n>>6] |= 1 << (uint(n) & 63) }
+//
+//catnap:hotpath
+//catnap:worker-safe own-subnet bitmap write in the power phase
+func (s *Subnet) setBlocked(n int) { s.blockedBits[n>>6] |= 1 << (uint(n) & 63) }
+
+//catnap:hotpath
+//catnap:worker-safe own-subnet bitmap write in the power phase
 func (s *Subnet) clearBlocked(n int) { s.blockedBits[n>>6] &^= 1 << (uint(n) & 63) }
 
 // onSleep records an Active→Asleep transition. The fresh sleeper is owed
@@ -578,6 +598,7 @@ func (s *Subnet) clearBlocked(n int) { s.blockedBits[n>>6] &^= 1 << (uint(n) & 6
 // not move (a generic epoched policy may want it straight back up).
 //
 //catnap:hotpath
+//catnap:worker-safe runs inside the worker-dispatched power phase
 func (s *Subnet) onSleep(n int) {
 	s.stateCount[PowerActive]--
 	s.stateCount[PowerAsleep]++
@@ -589,6 +610,7 @@ func (s *Subnet) onSleep(n int) {
 // onWakeStart records an Asleep→Waking transition.
 //
 //catnap:hotpath
+//catnap:worker-safe runs inside the worker-dispatched power phase
 func (s *Subnet) onWakeStart(n int) {
 	s.stateCount[PowerAsleep]--
 	s.stateCount[PowerWaking]++
@@ -600,12 +622,15 @@ func (s *Subnet) onWakeStart(n int) {
 // onWakeDone records a Waking→Active transition.
 //
 //catnap:hotpath
+//catnap:worker-safe own-subnet state-count update during the worker-dispatched power phase
 func (s *Subnet) onWakeDone(n int) {
 	s.stateCount[PowerWaking]--
 	s.stateCount[PowerActive]++
 	s.wakingBits[n>>6] &^= 1 << (uint(n) & 63)
 }
 
+//catnap:hotpath
+//catnap:worker-safe pure index arithmetic
 func (s *Subnet) slotCheck(cycle int64) int { return int(cycle % int64(len(s.checkWheel))) }
 
 // scheduleCheck (re)schedules router r's next sleep-eligibility check at
@@ -616,6 +641,7 @@ func (s *Subnet) slotCheck(cycle int64) int { return int(cycle % int64(len(s.che
 // gating policy; SetGatingPolicy re-arms every router when one appears.
 //
 //catnap:hotpath
+//catnap:worker-safe stages into the owning shard's check wheel during the power phase
 func (s *Subnet) scheduleCheck(r *Router, now int64) {
 	if s.refScan || s.net.gating == nil {
 		return

@@ -218,6 +218,8 @@ func (p *StepPool) drain(r *stepRange) {
 // happens before wg.Done so that when Run returns, every surviving
 // helper is already back on the parked list — the next burst finds them
 // instead of spawning replacements.
+//
+//catnap:hotpath the worker goroutine loop; steady-state bursts must not allocate
 func (w *stepWorker) run() {
 	p := w.pool
 	idle := time.NewTimer(p.idleTimeout)

@@ -118,6 +118,9 @@ func NewLog(capacity int, sink io.Writer) *Log {
 }
 
 // Append records one event.
+//
+//catnap:hotpath fires only on power/congestion transitions, never per flit
+//catnap:worker-safe mutex-guarded ring append; deliverable from shard workers
 func (l *Log) Append(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -133,6 +136,7 @@ func (l *Log) Append(e Event) {
 		l.full = true
 	}
 	if l.enc != nil && l.sinkErr == nil {
+		//lint:ignore hotpathalloc JSON streaming is opt-in via WithSink; runs that care about allocation leave the sink nil
 		l.sinkErr = l.enc.Encode(e)
 	}
 }

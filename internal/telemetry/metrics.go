@@ -41,6 +41,9 @@ type Counter struct {
 }
 
 // Add increments the counter by d.
+//
+//catnap:hotpath
+//catnap:worker-safe atomic increment; deliverable from shard workers
 func (c *Counter) Add(d int64) { atomic.AddInt64(&c.v, d) }
 
 // Value returns the current total.
